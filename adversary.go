@@ -1,0 +1,36 @@
+package flp
+
+import (
+	"github.com/flpsim/flp/internal/adversary"
+)
+
+// Adversary types, re-exported from the Theorem 1 construction.
+type (
+	// Adversary is the staged bivalence-preserving scheduler of the proof
+	// of Theorem 1.
+	Adversary = adversary.Adversary
+	// AdversaryOptions configure stage count and search budgets.
+	AdversaryOptions = adversary.Options
+	// AdversaryResult is a constructed non-deciding admissible run prefix.
+	AdversaryResult = adversary.Result
+	// AdversaryStage records one stage of the construction.
+	AdversaryStage = adversary.Stage
+	// AdversaryReport is the independent verification of a result.
+	AdversaryReport = adversary.VerifyReport
+)
+
+// ErrNoBivalentInitial means the protocol is outside the theorem's
+// hypotheses: no initial configuration could be certified bivalent.
+var ErrNoBivalentInitial = adversary.ErrNoBivalentInitial
+
+// NewAdversary returns a Theorem 1 adversary for pr.
+func NewAdversary(pr Protocol, opt AdversaryOptions) *Adversary {
+	return adversary.New(pr, opt)
+}
+
+// VerifyAdversaryRun independently replays a constructed run and checks
+// the admissibility discipline: rotating queue order, earliest-message
+// delivery per stage, and zero decisions throughout.
+func VerifyAdversaryRun(pr Protocol, r *AdversaryResult) (AdversaryReport, error) {
+	return adversary.Verify(pr, r)
+}

@@ -1,0 +1,26 @@
+package flp
+
+import (
+	"github.com/flpsim/flp/internal/approx"
+)
+
+// Approximate-agreement types (paper reference [9]: Dolev, Lynch, Pinter,
+// Stark, Weihl), re-exported.
+type (
+	// ApproxOptions configure an approximate-agreement execution.
+	ApproxOptions = approx.Options
+	// ApproxResult reports final values, spread, and convergence.
+	ApproxResult = approx.Result
+)
+
+// RunApproxAgreement executes asynchronous approximate agreement: the
+// spread of the correct processes' values halves each round, so exact
+// consensus's impossible last bit is traded for ⌈log2(Δ/ε)⌉ rounds of
+// convergence.
+func RunApproxAgreement(opt ApproxOptions, inputs []int64) (*ApproxResult, error) {
+	return approx.Run(opt, inputs)
+}
+
+// ApproxRoundsFor returns the rounds needed to shrink a spread within
+// epsilon.
+func ApproxRoundsFor(spread, epsilon int64) int { return approx.RoundsFor(spread, epsilon) }

@@ -1,0 +1,31 @@
+package flp
+
+import (
+	"github.com/flpsim/flp/internal/brb"
+)
+
+// Reliable-broadcast types (Bracha; paper refs [3,4]), re-exported.
+type (
+	// BroadcastConfig describes one reliable-broadcast instance.
+	BroadcastConfig = brb.Config
+	// BroadcastResult reports deliveries.
+	BroadcastResult = brb.Result
+	// ByzantineBehavior scripts a Byzantine node.
+	ByzantineBehavior = brb.Behavior
+)
+
+// Byzantine behaviors for reliable broadcast.
+const (
+	HonestNode     = brb.Honest
+	SilentNode     = brb.Silent
+	FloodingNode   = brb.SupportBoth
+	TwoFacedSender = brb.TwoFaced
+)
+
+// RunBroadcast executes Bracha reliable broadcast under an adversarial
+// scheduler: with N > 3F, correct nodes never deliver inconsistently, even
+// against a two-faced sender — dissemination sits on the solvable side of
+// the FLP boundary.
+func RunBroadcast(cfg BroadcastConfig) (*BroadcastResult, error) {
+	return brb.Run(cfg)
+}

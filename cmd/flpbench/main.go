@@ -1,0 +1,62 @@
+// Command flpbench regenerates every table in EXPERIMENTS.md: one
+// experiment per artifact of the paper (Lemmas 1-3, Theorems 1-2, the
+// commit window, and the contrast/escape systems the paper cites).
+//
+// Usage:
+//
+//	flpbench                # the full suite at default scale
+//	flpbench -experiment E4 # one experiment
+//	flpbench -scale 3       # multiply trial counts by 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/flpsim/flp/internal/experiments"
+)
+
+func main() {
+	var (
+		id    = flag.String("experiment", "all", "experiment id (E1..E18) or 'all'")
+		scale = flag.Int("scale", 1, "multiply trial counts")
+		seed  = flag.Int64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	sizes := experiments.DefaultSizes()
+	sizes.Seed = *seed
+	if *scale > 1 {
+		sizes.E1Trials *= *scale
+		sizes.E4Fair *= *scale
+		sizes.E5Runs *= *scale
+		sizes.E6Runs *= *scale
+		sizes.E7Trials *= *scale
+		sizes.E9Runs *= *scale
+		sizes.E10Seeds *= *scale
+	}
+
+	if *id != "all" {
+		tab, err := experiments.RunByID(*id, sizes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flpbench: %v\n", err)
+			os.Exit(1)
+		}
+		tab.Fprint(os.Stdout)
+		return
+	}
+	start := time.Now()
+	for _, r := range experiments.Suite(sizes) {
+		t0 := time.Now()
+		tab, err := r.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flpbench: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("  (%s in %v)\n\n", r.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("suite complete in %v\n", time.Since(start).Round(time.Millisecond))
+}

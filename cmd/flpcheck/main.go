@@ -1,0 +1,204 @@
+// Command flpcheck runs the FLP model checker against a named protocol:
+// the Lemma 2 initial-valency census, Lemma 3 frontier checks, the partial
+// correctness (agreement/nontriviality) audit, and the Theorem 1 adversary.
+//
+// Usage:
+//
+//	flpcheck -protocol naivemajority -n 3            # full checker battery
+//	flpcheck -protocol paxos -n 3 -adversary 12      # livelock Paxos for 12 stages
+//	flpcheck -list                                   # available protocols
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/flpsim/flp"
+)
+
+func main() {
+	var (
+		name      = flag.String("protocol", "naivemajority", "protocol to check (see -list)")
+		n         = flag.Int("n", 3, "number of processes")
+		budget    = flag.Int("budget", 200000, "max configurations per exploration")
+		stages    = flag.Int("adversary", 0, "also run the Theorem 1 adversary for this many stages")
+		skipL3    = flag.Bool("skip-lemma3", false, "skip the Lemma 3 frontier census")
+		skipAgree = flag.Bool("skip-agreement", false, "skip the partial-correctness audit")
+		list      = flag.Bool("list", false, "list available protocols and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available protocols:", strings.Join(flp.ProtocolNames(), ", "))
+		return
+	}
+	factory, ok := flp.LookupProtocol(*name)
+	if !ok {
+		fatalf("unknown protocol %q; try -list", *name)
+	}
+	pr, err := factory(*n)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opt := flp.CheckOptions{MaxConfigs: *budget}
+	unbounded := *name == "paxos" || *name == "benor"
+
+	fmt.Printf("protocol: %s\n\n", pr.Name())
+	runLemma2(pr, opt, unbounded)
+	if !unbounded {
+		fmt.Println("== Lemma 2 proof walk: adjacent univalent pairs ==")
+		runLemma2Proof(pr, opt)
+	}
+	if !*skipL3 {
+		runLemma3(pr, opt, unbounded)
+	}
+	if !*skipAgree {
+		runAgreement(pr, opt, unbounded)
+	}
+	if *stages > 0 {
+		runAdversary(pr, *stages, unbounded)
+	}
+}
+
+func runLemma2(pr flp.Protocol, opt flp.CheckOptions, unbounded bool) {
+	fmt.Println("== Lemma 2: initial configuration valencies ==")
+	for _, in := range flp.AllInputs(pr.N()) {
+		c, err := flp.Initial(pr, in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var info flp.ValencyInfo
+		if unbounded {
+			info = flp.ClassifySmart(pr, c, flp.CheckOptions{MaxConfigs: 2000}, flp.ProbeOptions{})
+		} else {
+			info = flp.Classify(pr, c, opt)
+		}
+		exact := ""
+		if !info.Exact {
+			exact = " (budget-limited)"
+		}
+		fmt.Printf("  inputs %s: %s%s, %d configurations explored\n", in, info.Valency, exact, info.Visited)
+	}
+	fmt.Println()
+}
+
+func runLemma2Proof(pr flp.Protocol, opt flp.CheckOptions) {
+	steps, err := flp.CheckLemma2Proof(pr, opt)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(steps) == 0 {
+		fmt.Println("  no adjacent 0-valent/1-valent pairs (a bivalent configuration separates the regions, or one region is empty)")
+		fmt.Println()
+		return
+	}
+	for _, s := range steps {
+		fmt.Printf("  pair %s/%s (differ at p%d): ", s.Zero, s.One, s.Differ)
+		switch {
+		case s.Contradiction():
+			fmt.Println("CONTRADICTION CONSTRUCTED — the model is broken!")
+		case !s.SigmaFound:
+			fmt.Printf("no deciding run exists with p%d silent — the protocol is not fault tolerant, which is how it escapes Lemma 2\n", s.Differ)
+		default:
+			fmt.Printf("σ found (%d events) but decisions diverge; pair is not genuinely univalent\n", len(s.Sigma))
+		}
+	}
+	fmt.Println()
+}
+
+func runLemma3(pr flp.Protocol, opt flp.CheckOptions, unbounded bool) {
+	fmt.Println("== Lemma 3: bivalence-preserving extensions ==")
+	c, in, ok := findBivalent(pr, opt, unbounded)
+	if !ok {
+		fmt.Println("  no bivalent initial configuration: the protocol escapes the theorem's hypotheses")
+		fmt.Println()
+		return
+	}
+	fmt.Printf("  bivalent initial configuration: inputs %s\n", in)
+	if unbounded {
+		fmt.Println("  (frontier census needs a finite protocol; skipped for unbounded state spaces)")
+		fmt.Println()
+		return
+	}
+	cache := flp.NewValencyCache(pr, opt)
+	for p := 0; p < pr.N(); p++ {
+		e := flp.NullEvent(flp.PID(p))
+		res, err := flp.CensusLemma3(pr, c, e, opt, cache)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("  e = %s: frontier |ℰ| = %d, bivalent member found = %v (witness |σ| = %d)\n",
+			e, res.FrontierSize, res.BivalentFound, len(res.Sigma))
+	}
+	fmt.Println()
+}
+
+func runAgreement(pr flp.Protocol, opt flp.CheckOptions, unbounded bool) {
+	fmt.Println("== Partial correctness (Section 2) ==")
+	if unbounded {
+		opt = flp.CheckOptions{MaxConfigs: 2000}
+	}
+	rep, err := flp.CheckPartialCorrectness(pr, opt)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("  agreement (condition 1): %v", rep.AgreementHolds)
+	if !rep.Complete {
+		fmt.Printf(" (within %d explored configurations)", rep.Configs)
+	}
+	fmt.Println()
+	if rep.Violation != nil {
+		fmt.Printf("  violation witness: inputs %s, schedule of %d events, deciders %v\n",
+			rep.Violation.Inputs, len(rep.Violation.Schedule), rep.Violation.Deciders)
+	}
+	fmt.Printf("  nontriviality (condition 2): both values reachable = %v\n", rep.Nontrivial)
+	fmt.Println()
+}
+
+func runAdversary(pr flp.Protocol, stages int, unbounded bool) {
+	fmt.Printf("== Theorem 1 adversary: %d stages ==\n", stages)
+	opt := flp.AdversaryOptions{Stages: stages}
+	if unbounded {
+		probe := flp.ProbeOptions{}
+		opt.Probe = &probe
+		opt.Valency = flp.CheckOptions{MaxConfigs: 1500}
+		opt.Search = flp.CheckOptions{MaxConfigs: 2000}
+	}
+	adv := flp.NewAdversary(pr, opt)
+	res, err := adv.Run()
+	if err != nil {
+		fmt.Printf("  adversary cannot proceed: %v\n", err)
+		fmt.Println("  (this is itself a finding: the protocol escapes the impossibility by violating one of its hypotheses)")
+		return
+	}
+	rep, err := flp.VerifyAdversaryRun(pr, res)
+	if err != nil {
+		fatalf("verification failed: %v", err)
+	}
+	fmt.Printf("  inputs %s: %d stages, %d steps, %d rotations, min steps/process %d\n",
+		res.Inputs, rep.Stages, rep.Steps, rep.Rotations, rep.MinStepsPerProcess)
+	fmt.Printf("  processes decided: %d — the run is admissible and non-deciding\n", rep.DecidedCount)
+}
+
+func findBivalent(pr flp.Protocol, opt flp.CheckOptions, unbounded bool) (*flp.Config, flp.Inputs, bool) {
+	if !unbounded {
+		return flp.FindBivalentInitial(pr, opt)
+	}
+	for _, in := range flp.AllInputs(pr.N()) {
+		c, err := flp.Initial(pr, in)
+		if err != nil {
+			return nil, nil, false
+		}
+		if flp.ClassifySmart(pr, c, flp.CheckOptions{MaxConfigs: 2000}, flp.ProbeOptions{}).Valency == flp.Bivalent {
+			return c, in, true
+		}
+	}
+	return nil, nil, false
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "flpcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+package flp
+
+import (
+	"github.com/flpsim/flp/internal/byzantine"
+	"github.com/flpsim/flp/internal/dls"
+	"github.com/flpsim/flp/internal/syncround"
+)
+
+// Synchronous-model types (the abstract's "solutions are known for the
+// synchronous case"), re-exported from the syncround package.
+type (
+	// SyncAlgorithm is a synchronous round-based consensus algorithm.
+	SyncAlgorithm = syncround.Algorithm
+	// CrashPattern is the synchronous adversary's crash schedule.
+	CrashPattern = syncround.CrashPattern
+	// SyncResult reports one synchronous execution.
+	SyncResult = syncround.Result
+	// FloodSet decides in f+1 rounds under ≤ f crashes.
+	FloodSet = syncround.FloodSet
+	// TruncatedFloodSet is the f-round ablation that can disagree.
+	TruncatedFloodSet = syncround.TruncatedFloodSet
+)
+
+// RunSync executes a synchronous algorithm under a crash pattern.
+func RunSync(alg SyncAlgorithm, inputs Inputs, f int, cp CrashPattern) (*SyncResult, error) {
+	return syncround.Run(alg, inputs, f, cp)
+}
+
+// Byzantine Generals types (the abstract's other contrast), re-exported
+// from the byzantine package.
+type (
+	// ByzantineConfig describes one OM(m) execution.
+	ByzantineConfig = byzantine.Config
+	// ByzantineResult reports decisions and message cost.
+	ByzantineResult = byzantine.Result
+	// TraitorStrategy decides what a traitor relays.
+	TraitorStrategy = byzantine.Strategy
+)
+
+// RunByzantine executes OM(cfg.M) with the commander issuing order.
+func RunByzantine(cfg ByzantineConfig, order Value) (*ByzantineResult, error) {
+	return byzantine.Run(cfg, order)
+}
+
+// Partial-synchrony types (conclusion, reference [10]), re-exported from
+// the dls package.
+type (
+	// DLSOptions configure a partial-synchrony execution (GST, drops,
+	// crashes).
+	DLSOptions = dls.Options
+	// DLSResult reports decisions and their rounds.
+	DLSResult = dls.Result
+)
+
+// RunDLS executes the rotating-coordinator partial-synchrony protocol.
+func RunDLS(opt DLSOptions, inputs Inputs) (*DLSResult, error) {
+	return dls.Run(opt, inputs)
+}

@@ -1,0 +1,52 @@
+package flp
+
+import (
+	"github.com/flpsim/flp/internal/asyncnet"
+	"github.com/flpsim/flp/internal/failuredetector"
+)
+
+// Failure-detector types (the Chandra-Toueg escape), re-exported.
+type (
+	// Detector is the unreliable failure-detector oracle.
+	Detector = failuredetector.Detector
+	// EventuallyAccurate is a ◇P-style detector: noisy before StableAt,
+	// exact afterwards.
+	EventuallyAccurate = failuredetector.EventuallyAccurate
+	// Paranoid always suspects everyone (complete, never accurate).
+	Paranoid = failuredetector.Paranoid
+	// Blind never suspects anyone (accurate, never complete).
+	Blind = failuredetector.Blind
+	// FDOptions configure a detector-driven consensus run.
+	FDOptions = failuredetector.Options
+	// FDResult reports a detector-driven consensus run.
+	FDResult = failuredetector.Result
+)
+
+// RunWithDetector executes the rotating-coordinator consensus whose
+// liveness is delegated to the given failure detector. Safety never
+// consults the oracle.
+func RunWithDetector(opt FDOptions, inputs Inputs) (*FDResult, error) {
+	return failuredetector.Run(opt, inputs)
+}
+
+// Concurrent-executor types (process-per-goroutine), re-exported.
+type (
+	// Net is a running system of process goroutines.
+	Net = asyncnet.Net
+	// DriveOptions configure a driven concurrent execution.
+	DriveOptions = asyncnet.DriveOptions
+	// DriveResult reports a driven concurrent execution.
+	DriveResult = asyncnet.DriveResult
+)
+
+// NewNet launches one goroutine per process of pr; callers own stepping
+// and must Close it.
+func NewNet(pr Protocol, inputs Inputs) (*Net, error) {
+	return asyncnet.New(pr, inputs)
+}
+
+// DriveNet runs pr on goroutines under the packaged policies until
+// decision, quiescence, or the step bound.
+func DriveNet(pr Protocol, inputs Inputs, opt DriveOptions) (*DriveResult, error) {
+	return asyncnet.Drive(pr, inputs, opt)
+}

@@ -1,0 +1,41 @@
+// Approx: the sharpest way to read FLP. Reference [9] of the paper shows
+// that *approximate* agreement — everyone within ε — is solvable in the
+// exact model where exact agreement is not. The impossibility lives
+// entirely in the last bit.
+//
+//	go run ./examples/approx
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/flpsim/flp"
+)
+
+func main() {
+	// Five replicas propose wildly different timestamps; two crash along
+	// the way; the adversary picks which N-f values each replica sees
+	// every round.
+	inputs := []int64{0, 1 << 20, 313370, 999999, 424242}
+	fmt.Println("inputs:", inputs)
+	fmt.Println()
+
+	for _, eps := range []int64{1 << 16, 1 << 8, 16, 1} {
+		opt := flp.ApproxOptions{
+			N: 5, F: 2, Epsilon: eps, Seed: 7,
+			CrashRound: map[int]int{1: 2, 4: 0},
+		}
+		res, err := flp.RunApproxAgreement(opt, inputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ε=%-7d rounds=%-3d final spread=%-6d within ε=%v validity=%v finals=%v\n",
+			eps, res.Rounds, res.Spread, res.WithinEpsilon, res.ValidityHolds, res.Values)
+	}
+
+	fmt.Println()
+	fmt.Printf("rounds needed scale as ⌈log2(spread/ε)⌉: e.g. RoundsFor(2^20, 1) = %d\n",
+		flp.ApproxRoundsFor(1<<20, 1))
+	fmt.Println("ε can be any positive value — but never zero: that last bit is Theorem 1's")
+}

@@ -1,0 +1,58 @@
+// Benor: the randomized escape route named in the paper's conclusion
+// (reference [2]). Ben-Or's protocol terminates with probability 1 — FLP
+// is not violated, because for every fixed coin tape there still exist
+// adversarial schedules that run forever; it is the measure over tapes
+// that rescues termination.
+//
+//	go run ./examples/benor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/flpsim/flp"
+)
+
+func main() {
+	for _, n := range []int{3, 5, 7} {
+		f := (n - 1) / 2
+		inputs := make(flp.Inputs, n)
+		for i := 0; i < n/2; i++ {
+			inputs[i] = flp.V1
+		}
+		// Spend the full crash budget: f processes die mid-run.
+		crash := map[flp.PID]int{}
+		for v := 0; v < f; v++ {
+			crash[flp.PID(n-1-v)] = v + 1
+		}
+
+		terminated, violations, totalSteps := 0, 0, 0
+		const runs = 20
+		for seed := uint64(0); seed < runs; seed++ {
+			pr := flp.NewBenOr(n, seed) // a fresh coin tape per run
+			res, err := flp.Run(pr, inputs, flp.RandomFair{},
+				flp.RunOptions{MaxSteps: 300000, Seed: int64(seed), CrashAfter: crash})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.AllLiveDecided {
+				terminated++
+				totalSteps += res.Steps
+			}
+			if res.AgreementViolated {
+				violations++
+			}
+		}
+		fmt.Printf("N=%d f=%d: %d/%d runs terminated, %d agreement violations, mean steps %d\n",
+			n, f, terminated, runs, violations, totalSteps/max(terminated, 1))
+	}
+	fmt.Println("\ntermination with probability 1, agreement always — at the price of only probabilistic progress")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,52 @@
+// Detector: the third escape route — unreliable failure detectors
+// (Chandra & Toueg), the line of work FLP directly provoked. Give the
+// asynchronous system a suspicion oracle and consensus becomes solvable
+// with a crashing minority; take away either oracle property and you are
+// back inside the impossibility.
+//
+//	go run ./examples/detector
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/flpsim/flp"
+)
+
+func main() {
+	inputs := flp.Inputs{0, 1, 1, 0, 1}
+
+	run := func(label string, det flp.Detector, crashes map[int]int) {
+		opt := flp.FDOptions{N: 5, F: 2, Detector: det, Lag: 3,
+			MaxTicks: 4000, CrashTick: crashes}
+		res, err := flp.RunWithDetector(opt, inputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case res.AllLiveDecided(opt):
+			v := flp.Value(0)
+			for _, d := range res.Decisions {
+				v = d
+			}
+			fmt.Printf("%-28s decided %v in round %d (%d ticks, %d rounds skipped)\n",
+				label, v, res.DecisionRound, res.Ticks, res.SkippedRounds)
+		default:
+			fmt.Printf("%-28s NO DECISION after %d ticks / %d rounds (agreement intact: %v)\n",
+				label, res.Ticks, res.Rounds, res.Agreement)
+		}
+	}
+
+	fmt.Println("rotating-coordinator consensus, N=5, f=2, proposal lag 3 ticks")
+	fmt.Println()
+	run("accurate oracle:", flp.EventuallyAccurate{}, nil)
+	run("accurate, 2 coords dead:", flp.EventuallyAccurate{}, map[int]int{0: 0, 1: 0})
+	run("noisy until tick 60:", flp.EventuallyAccurate{StableAt: 60, NoiseProb: 0.4, Seed: 7}, map[int]int{4: 10})
+	run("paranoid (no accuracy):", flp.Paranoid{}, nil)
+	run("blind (no completeness):", flp.Blind{}, map[int]int{0: 0})
+
+	fmt.Println()
+	fmt.Println("paranoid = the FLP adversary reborn as oracle noise: liveness gone, safety untouched")
+	fmt.Println("blind    = the paper's own observation: a dead coordinator is indistinguishable from a slow one")
+}

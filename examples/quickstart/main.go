@@ -1,0 +1,55 @@
+// Quickstart: define a consensus protocol against the paper's model, let
+// the checker classify it, and run it.
+//
+// The protocol here is the naive one everybody writes first: broadcast
+// your vote, decide the majority of the first N-1 votes you see. The
+// checker shows (a) it has bivalent initial configurations — the raw
+// material of the FLP proof — and (b) it violates agreement, which is HOW
+// it escapes the impossibility.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/flpsim/flp"
+)
+
+func main() {
+	pr := flp.NewNaiveMajority(3)
+	fmt.Printf("protocol: %s\n\n", pr.Name())
+
+	// 1. Lemma 2 in action: which initial configurations are bivalent?
+	census, err := flp.CensusInitial(pr, flp.CheckOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("initial configuration valencies (Lemma 2):")
+	for _, iv := range census.PerInput {
+		fmt.Printf("  inputs %s → %s\n", iv.Inputs, iv.Info.Valency)
+	}
+
+	// 2. The price this protocol pays: agreement can break.
+	rep, err := flp.CheckPartialCorrectness(pr, flp.CheckOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nagreement holds: %v\n", rep.AgreementHolds)
+	if rep.Violation != nil {
+		fmt.Printf("counterexample: from inputs %s, a %d-event schedule makes p%d decide 0 while p%d decides 1\n",
+			rep.Violation.Inputs, len(rep.Violation.Schedule),
+			rep.Violation.Deciders[flp.V0], rep.Violation.Deciders[flp.V1])
+	}
+
+	// 3. Under a fair scheduler it still "works" most days — which is why
+	// people ship protocols like this.
+	res, err := flp.Run(pr, flp.Inputs{0, 1, 1}, flp.NewRoundRobin(), flp.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, ok := res.DecidedValue()
+	fmt.Printf("\none fair run from 011: %d steps, unanimous=%v, value=%v\n", res.Steps, ok, v)
+	fmt.Println("\n(FLP says: any fix that restores agreement will either block on one crash or admit non-terminating runs — see examples/adversary.)")
+}

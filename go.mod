@@ -1,0 +1,3 @@
+module github.com/flpsim/flp
+
+go 1.22

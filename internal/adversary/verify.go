@@ -1,0 +1,109 @@
+package adversary
+
+import (
+	"fmt"
+
+	"github.com/flpsim/flp/internal/fifo"
+	"github.com/flpsim/flp/internal/model"
+)
+
+// VerifyReport is the outcome of independently replaying a constructed run
+// and checking the admissibility discipline of the Theorem 1 construction.
+type VerifyReport struct {
+	// Stages and Steps describe the prefix.
+	Stages int
+	Steps  int
+	// DecidedCount is the number of decided processes in the final
+	// configuration; a successful construction has zero.
+	DecidedCount int
+	// StepsPerProcess tallies steps; with k full queue rotations completed,
+	// every process has taken at least k steps.
+	StepsPerProcess map[model.PID]int
+	// MinStepsPerProcess is the smallest tally.
+	MinStepsPerProcess int
+	// Rotations is the number of complete queue rotations (stages / N).
+	Rotations int
+}
+
+// Verify replays r's schedule from the initial configuration and checks,
+// independently of the construction, that:
+//
+//   - the stages service processes in rotating queue order,
+//   - each stage's committed (final) event is by the serviced process and
+//     delivers the process's earliest pending message at the start of the
+//     stage (or is the null event if none was pending),
+//   - the full schedule is applicable, and
+//   - no process decides anywhere along the run.
+//
+// These are exactly the properties from which the paper concludes the
+// limit run is admissible and non-deciding.
+func Verify(pr model.Protocol, r *Result) (VerifyReport, error) {
+	rep := VerifyReport{StepsPerProcess: make(map[model.PID]int)}
+	cfg, err := model.Initial(pr, r.Inputs)
+	if err != nil {
+		return rep, err
+	}
+	tracker := fifo.New()
+	queue := append([]model.PID(nil), r.InitialOrder...)
+
+	for i, st := range r.Stages {
+		if len(st.Sigma) == 0 {
+			return rep, fmt.Errorf("adversary: stage %d has empty schedule", i)
+		}
+		head := queue[0]
+		if st.Process != head {
+			return rep, fmt.Errorf("adversary: stage %d serviced p%d, queue head is p%d", i, st.Process, head)
+		}
+		// The committed event must be the head's earliest pending message
+		// at the start of the stage, or null if none.
+		var expected model.Event
+		if m, ok := tracker.Oldest(head); ok {
+			expected = model.Deliver(m)
+		} else {
+			expected = model.NullEvent(head)
+		}
+		if !st.Committed.Same(expected) {
+			return rep, fmt.Errorf("adversary: stage %d committed %s, expected %s", i, st.Committed, expected)
+		}
+		last := st.Sigma[len(st.Sigma)-1]
+		if !last.Same(st.Committed) {
+			return rep, fmt.Errorf("adversary: stage %d does not end with its committed event", i)
+		}
+		for j, e := range st.Sigma[:len(st.Sigma)-1] {
+			if e.Same(st.Committed) {
+				return rep, fmt.Errorf("adversary: stage %d applies committed event early (position %d)", i, j)
+			}
+		}
+		for _, e := range st.Sigma {
+			nc, sends, err := model.ApplyTraced(pr, cfg, e)
+			if err != nil {
+				return rep, fmt.Errorf("adversary: stage %d replay: %w", i, err)
+			}
+			if err := tracker.Advance(e, sends); err != nil {
+				return rep, fmt.Errorf("adversary: stage %d replay: %w", i, err)
+			}
+			cfg = nc
+			rep.Steps++
+			rep.StepsPerProcess[e.P]++
+			if cfg.DecidedCount() > 0 {
+				return rep, fmt.Errorf("adversary: a process decided during stage %d; the run is deciding", i)
+			}
+		}
+		queue = append(queue[1:], head)
+		rep.Stages++
+	}
+
+	if !cfg.Equal(r.Final) {
+		return rep, fmt.Errorf("adversary: replay diverged from recorded final configuration")
+	}
+	rep.DecidedCount = cfg.DecidedCount()
+	rep.Rotations = rep.Stages / pr.N()
+	rep.MinStepsPerProcess = -1
+	for p := 0; p < pr.N(); p++ {
+		s := rep.StepsPerProcess[model.PID(p)]
+		if rep.MinStepsPerProcess < 0 || s < rep.MinStepsPerProcess {
+			rep.MinStepsPerProcess = s
+		}
+	}
+	return rep, nil
+}

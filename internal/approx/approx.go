@@ -1,0 +1,197 @@
+// Package approx implements asynchronous approximate agreement in the
+// style of Dolev, Lynch, Pinter, Stark, and Weihl ("Reaching approximate
+// agreement in the presence of faults" — reference [9] of the paper, one
+// of the positive results its conclusion points to). Exact consensus is
+// impossible in the asynchronous model; *approximate* agreement — all
+// correct processes end within ε of each other, inside the range of the
+// initial values — is solvable, which sharpens exactly where the
+// impossibility bites: on the final bit.
+//
+// Crash-fault algorithm (f < N/2): in each asynchronous round a process
+// broadcasts its value, collects N-f round-r values (its own included),
+// and replaces its value with the midpoint of the collected set. Any two
+// collected sets share at least N-2f ≥ 1 values, so two midpoints differ
+// by at most half the diameter: the spread halves every round, and
+// ⌈log2(Δ/ε)⌉ rounds land everyone within ε. Values never leave the
+// initial range, giving validity.
+//
+// Values are fixed-point integers (the model is exact; no float drift).
+package approx
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Options configure one execution.
+type Options struct {
+	// N is the number of processes; F the crash budget (F < N/2).
+	N, F int
+	// Epsilon is the target disagreement bound (fixed-point units) ≥ 1.
+	Epsilon int64
+	// Rounds overrides the round count; 0 derives ⌈log2(Δ/ε)⌉ from the
+	// inputs.
+	Rounds int
+	// Seed drives the per-round choice of which N-F values each process
+	// collects (the message-system nondeterminism).
+	Seed int64
+	// CrashRound maps a process to the round at whose start it crashes
+	// (0 = initially dead). At most F entries.
+	CrashRound map[int]int
+}
+
+func (o Options) validate() error {
+	if o.N < 2 {
+		return fmt.Errorf("approx: need N ≥ 2, got %d", o.N)
+	}
+	if o.F < 0 || 2*o.F >= o.N {
+		return fmt.Errorf("approx: need 0 ≤ F < N/2, got F=%d N=%d", o.F, o.N)
+	}
+	if len(o.CrashRound) > o.F {
+		return fmt.Errorf("approx: %d crashes exceed budget F=%d", len(o.CrashRound), o.F)
+	}
+	if o.Epsilon < 1 {
+		return fmt.Errorf("approx: Epsilon must be ≥ 1, got %d", o.Epsilon)
+	}
+	return nil
+}
+
+// Result reports one execution.
+type Result struct {
+	// Values holds each surviving process's final value.
+	Values map[int]int64
+	// Spread is the final max-min over survivors.
+	Spread int64
+	// InitialSpread is the max-min over all inputs.
+	InitialSpread int64
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// WithinEpsilon reports Spread ≤ Epsilon.
+	WithinEpsilon bool
+	// ValidityHolds reports every final value within the initial range.
+	ValidityHolds bool
+}
+
+// Run executes approximate agreement from the given initial values.
+func Run(opt Options, inputs []int64) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if len(inputs) != opt.N {
+		return nil, fmt.Errorf("approx: %d inputs for N=%d", len(inputs), opt.N)
+	}
+	lo, hi := minMax(inputs)
+	rounds := opt.Rounds
+	if rounds == 0 {
+		rounds = roundsFor(hi-lo, opt.Epsilon)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	values := append([]int64(nil), inputs...)
+
+	for r := 1; r <= rounds; r++ {
+		// The round-r broadcast values come from processes not yet
+		// crashed. A process crashing in round r is modeled as reaching
+		// nobody — the harshest choice; partial receipt only means the
+		// adversary has more values to choose from.
+		var senders []int
+		for p := 0; p < opt.N; p++ {
+			if !isCrashedAt(opt, p, r) {
+				senders = append(senders, p)
+			}
+		}
+		next := append([]int64(nil), values...)
+		for p := 0; p < opt.N; p++ {
+			if isCrashedAt(opt, p, r) {
+				continue
+			}
+			// p collects N-F round-r values: always its own, plus a
+			// random subset of the other senders (the adversary delays
+			// the rest). With ≤ F crashes at least N-F senders exist.
+			collected := collect(p, senders, opt.N-opt.F, rng)
+			vals := make([]int64, 0, len(collected))
+			for _, q := range collected {
+				vals = append(vals, values[q])
+			}
+			cLo, cHi := minMax(vals)
+			next[p] = midpoint(cLo, cHi)
+		}
+		values = next
+	}
+
+	res := &Result{Values: map[int]int64{}, InitialSpread: hi - lo, Rounds: rounds}
+	var finals []int64
+	for p := 0; p < opt.N; p++ {
+		if _, crashed := opt.CrashRound[p]; crashed {
+			continue
+		}
+		res.Values[p] = values[p]
+		finals = append(finals, values[p])
+	}
+	fLo, fHi := minMax(finals)
+	res.Spread = fHi - fLo
+	res.WithinEpsilon = res.Spread <= opt.Epsilon
+	res.ValidityHolds = fLo >= lo && fHi <= hi
+	return res, nil
+}
+
+// RoundsFor returns the number of halving rounds needed to bring an
+// initial spread within epsilon.
+func RoundsFor(spread, epsilon int64) int { return roundsFor(spread, epsilon) }
+
+func roundsFor(spread, epsilon int64) int {
+	r := 0
+	for spread > epsilon {
+		spread = (spread + 1) / 2
+		r++
+	}
+	return r
+}
+
+func isCrashedAt(opt Options, p, r int) bool {
+	cr, crashed := opt.CrashRound[p]
+	return crashed && r >= cr
+}
+
+// collect returns a size-need subset of senders that always includes p
+// when p is a sender, choosing the rest at random — the adversary decides
+// which N-F messages arrive first.
+func collect(p int, senders []int, need int, rng *rand.Rand) []int {
+	others := make([]int, 0, len(senders))
+	self := false
+	for _, q := range senders {
+		if q == p {
+			self = true
+			continue
+		}
+		others = append(others, q)
+	}
+	rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
+	out := []int{}
+	if self {
+		out = append(out, p)
+	}
+	for _, q := range others {
+		if len(out) >= need {
+			break
+		}
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func minMax(vs []int64) (int64, int64) {
+	lo, hi := vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+func midpoint(lo, hi int64) int64 { return lo + (hi-lo)/2 }

@@ -1,0 +1,134 @@
+package approx_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/flpsim/flp/internal/approx"
+)
+
+func TestConvergesNoCrashes(t *testing.T) {
+	opt := approx.Options{N: 5, F: 2, Epsilon: 4, Seed: 1}
+	res, err := approx.Run(opt, []int64{0, 1000, 500, 250, 750})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WithinEpsilon {
+		t.Errorf("spread %d > ε 4 after %d rounds", res.Spread, res.Rounds)
+	}
+	if !res.ValidityHolds {
+		t.Error("final values escaped the initial range")
+	}
+	if res.InitialSpread != 1000 {
+		t.Errorf("initial spread = %d", res.InitialSpread)
+	}
+}
+
+func TestConvergesDespiteCrashes(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		opt := approx.Options{N: 5, F: 2, Epsilon: 2, Seed: seed,
+			CrashRound: map[int]int{0: 0, 3: 2}}
+		res, err := approx.Run(opt, []int64{0, 1 << 20, 12345, 99999, 4242})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.WithinEpsilon {
+			t.Errorf("seed %d: spread %d > ε", seed, res.Spread)
+		}
+		if !res.ValidityHolds {
+			t.Errorf("seed %d: validity violated", seed)
+		}
+		if len(res.Values) != 3 {
+			t.Errorf("seed %d: %d survivors reported, want 3", seed, len(res.Values))
+		}
+	}
+}
+
+func TestSpreadHalvesPerRound(t *testing.T) {
+	// One round on a spread-1000 instance must land within 500.
+	opt := approx.Options{N: 3, F: 1, Epsilon: 1, Rounds: 1, Seed: 3}
+	res, err := approx.Run(opt, []int64{0, 400, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spread > 500 {
+		t.Errorf("one round left spread %d > 500", res.Spread)
+	}
+}
+
+func TestEqualInputsStayPut(t *testing.T) {
+	opt := approx.Options{N: 4, F: 1, Epsilon: 1, Seed: 2}
+	res, err := approx.Run(opt, []int64{7, 7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, v := range res.Values {
+		if v != 7 {
+			t.Errorf("p%d moved to %d from unanimous 7", p, v)
+		}
+	}
+	if res.Rounds != 0 {
+		t.Errorf("unanimous inputs needed %d rounds, want 0", res.Rounds)
+	}
+}
+
+func TestRoundsFor(t *testing.T) {
+	cases := map[[2]int64]int{
+		{1000, 1000}: 0,
+		{1000, 500}:  1,
+		{1000, 1}:    10,
+		{1, 1}:       0,
+		{1024, 1}:    10,
+	}
+	for in, want := range cases {
+		if got := approx.RoundsFor(in[0], in[1]); got != want {
+			t.Errorf("RoundsFor(%d, %d) = %d, want %d", in[0], in[1], got, want)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	bad := []approx.Options{
+		{N: 1, F: 0, Epsilon: 1},
+		{N: 4, F: 2, Epsilon: 1},
+		{N: 3, F: 1, Epsilon: 0},
+		{N: 3, F: 0, Epsilon: 1, CrashRound: map[int]int{1: 0}},
+	}
+	for i, opt := range bad {
+		if _, err := approx.Run(opt, make([]int64, opt.N)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := approx.Run(approx.Options{N: 3, F: 1, Epsilon: 1}, []int64{1}); err == nil {
+		t.Error("mismatched input count accepted")
+	}
+}
+
+// Property: for random inputs, crash subsets, and adversary seeds, the
+// algorithm always converges within ε and never leaves the initial range.
+func TestQuickConvergence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5) // 3..7
+		fMax := (n - 1) / 2
+		crashes := map[int]int{}
+		for _, v := range rng.Perm(n)[:rng.Intn(fMax+1)] {
+			crashes[v] = rng.Intn(4)
+		}
+		inputs := make([]int64, n)
+		for i := range inputs {
+			inputs[i] = int64(rng.Intn(1 << 16))
+		}
+		opt := approx.Options{N: n, F: fMax, Epsilon: int64(1 + rng.Intn(64)),
+			Seed: seed, CrashRound: crashes}
+		res, err := approx.Run(opt, inputs)
+		if err != nil {
+			return false
+		}
+		return res.WithinEpsilon && res.ValidityHolds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package brb implements Bracha's asynchronous reliable broadcast, the
+// building block of the Byzantine-resilient consensus protocols the
+// paper's conclusion cites as subsequent progress (Bracha; Bracha & Toueg
+// — references [3] and [4]). Reliable broadcast is, like atomic storage,
+// on the solvable side of the FLP boundary: with N > 3f, even Byzantine
+// faults cannot make correct processes deliver inconsistently, and no
+// timing assumptions are needed — the impossibility is specific to
+// consensus-grade termination.
+//
+// Protocol (Bracha 1987), sender s broadcasting value v:
+//
+//	s sends INITIAL(v) to all.
+//	On the first INITIAL(v): send ECHO(v) to all.
+//	On ECHO(v) from more than (N+f)/2 distinct senders: send READY(v).
+//	On READY(v) from f+1 distinct senders: send READY(v) (amplification).
+//	On READY(v) from 2f+1 distinct senders: deliver v.
+//
+// Guarantees for N > 3f: validity (a correct sender's value is delivered
+// by every correct process), agreement (no two correct processes deliver
+// different values), totality (if one correct process delivers, all do).
+package brb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/flpsim/flp/internal/model"
+)
+
+// Behavior scripts a Byzantine node's traffic. Byzantine nodes here are
+// message-forging floods — the strongest attack shape against quorum
+// thresholds; they do not need to react adaptively because thresholds are
+// monotone in the support they inject.
+type Behavior uint8
+
+// Byzantine behaviors.
+const (
+	// Honest follows the protocol.
+	Honest Behavior = iota
+	// Silent sends nothing at all.
+	Silent
+	// SupportBoth floods ECHO and READY for both values to everyone.
+	SupportBoth
+	// TwoFaced (sender only) sends INITIAL(0) to half the nodes and
+	// INITIAL(1) to the rest, plus the SupportBoth flood.
+	TwoFaced
+)
+
+// Config describes one broadcast instance.
+type Config struct {
+	// N is the number of nodes; F the Byzantine budget (N > 3F).
+	N, F int
+	// Sender is the broadcasting node.
+	Sender int
+	// Value is the honest sender's value (ignored by a TwoFaced sender).
+	Value model.Value
+	// Byzantine assigns non-honest behaviors to at most F nodes.
+	Byzantine map[int]Behavior
+	// Seed drives the adversarial message scheduler.
+	Seed int64
+	// MaxSteps bounds the run. Default 100000.
+	MaxSteps int
+}
+
+func (c Config) validate() error {
+	if c.N <= 3*c.F {
+		return fmt.Errorf("brb: need N > 3F, got N=%d F=%d", c.N, c.F)
+	}
+	if len(c.Byzantine) > c.F {
+		return fmt.Errorf("brb: %d Byzantine nodes exceed budget F=%d", len(c.Byzantine), c.F)
+	}
+	if c.Sender < 0 || c.Sender >= c.N {
+		return fmt.Errorf("brb: sender %d out of range", c.Sender)
+	}
+	for n, b := range c.Byzantine {
+		if b == TwoFaced && n != c.Sender {
+			return fmt.Errorf("brb: TwoFaced behavior only applies to the sender")
+		}
+		if b == Honest {
+			return fmt.Errorf("brb: node %d marked Byzantine with Honest behavior", n)
+		}
+	}
+	return nil
+}
+
+// Result reports one broadcast instance.
+type Result struct {
+	// Delivered maps each correct node that delivered to its value.
+	Delivered map[int]model.Value
+	// Steps counts message deliveries.
+	Steps int
+}
+
+// Agreement reports whether all correct deliverers agree.
+func (r *Result) Agreement() bool {
+	seen := map[model.Value]bool{}
+	for _, v := range r.Delivered {
+		seen[v] = true
+	}
+	return len(seen) <= 1
+}
+
+type msgKind uint8
+
+const (
+	mInitial msgKind = iota
+	mEcho
+	mReady
+)
+
+type message struct {
+	from, to int
+	kind     msgKind
+	val      model.Value
+}
+
+type node struct {
+	echoed    bool
+	readySent map[model.Value]bool
+	echoFrom  map[model.Value]map[int]bool
+	readyFrom map[model.Value]map[int]bool
+	delivered bool
+	value     model.Value
+}
+
+// Run executes one broadcast under an adversarial (seeded) scheduler.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 100000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nodes := make([]node, cfg.N)
+	for i := range nodes {
+		nodes[i] = node{
+			readySent: map[model.Value]bool{},
+			echoFrom:  map[model.Value]map[int]bool{0: {}, 1: {}},
+			readyFrom: map[model.Value]map[int]bool{0: {}, 1: {}},
+		}
+	}
+	isByz := func(n int) bool { return cfg.Byzantine[n] != Honest }
+
+	var inflight []message
+	sendAll := func(from int, kind msgKind, val model.Value) {
+		for to := 0; to < cfg.N; to++ {
+			inflight = append(inflight, message{from: from, to: to, kind: kind, val: val})
+		}
+	}
+
+	// Opening traffic.
+	switch cfg.Byzantine[cfg.Sender] {
+	case Honest:
+		sendAll(cfg.Sender, mInitial, cfg.Value)
+	case Silent:
+		// nothing
+	case SupportBoth:
+		sendAll(cfg.Sender, mEcho, 0)
+		sendAll(cfg.Sender, mEcho, 1)
+		sendAll(cfg.Sender, mReady, 0)
+		sendAll(cfg.Sender, mReady, 1)
+	case TwoFaced:
+		for to := 0; to < cfg.N; to++ {
+			v := model.Value(0)
+			if to >= cfg.N/2 {
+				v = 1
+			}
+			inflight = append(inflight, message{from: cfg.Sender, to: to, kind: mInitial, val: v})
+		}
+		sendAll(cfg.Sender, mEcho, 0)
+		sendAll(cfg.Sender, mEcho, 1)
+		sendAll(cfg.Sender, mReady, 0)
+		sendAll(cfg.Sender, mReady, 1)
+	}
+	// Non-sender Byzantine floods.
+	for n, b := range cfg.Byzantine {
+		if n == cfg.Sender {
+			continue
+		}
+		if b == SupportBoth {
+			sendAll(n, mEcho, 0)
+			sendAll(n, mEcho, 1)
+			sendAll(n, mReady, 0)
+			sendAll(n, mReady, 1)
+		}
+	}
+
+	echoThreshold := (cfg.N+cfg.F)/2 + 1 // strictly more than (N+F)/2
+	res := &Result{Delivered: map[int]model.Value{}}
+
+	for step := 1; step <= cfg.MaxSteps && len(inflight) > 0; step++ {
+		i := rng.Intn(len(inflight))
+		m := inflight[i]
+		inflight = append(inflight[:i], inflight[i+1:]...)
+		res.Steps = step
+		if isByz(m.to) {
+			continue // Byzantine nodes' inputs are irrelevant; their output is scripted
+		}
+		nd := &nodes[m.to]
+		switch m.kind {
+		case mInitial:
+			if m.from == cfg.Sender && !nd.echoed {
+				nd.echoed = true
+				sendAll(m.to, mEcho, m.val)
+			}
+		case mEcho:
+			nd.echoFrom[m.val][m.from] = true
+			if len(nd.echoFrom[m.val]) >= echoThreshold && !nd.readySent[m.val] {
+				nd.readySent[m.val] = true
+				sendAll(m.to, mReady, m.val)
+			}
+		case mReady:
+			nd.readyFrom[m.val][m.from] = true
+			if len(nd.readyFrom[m.val]) >= cfg.F+1 && !nd.readySent[m.val] {
+				nd.readySent[m.val] = true
+				sendAll(m.to, mReady, m.val)
+			}
+			if len(nd.readyFrom[m.val]) >= 2*cfg.F+1 && !nd.delivered {
+				nd.delivered = true
+				nd.value = m.val
+				res.Delivered[m.to] = m.val
+			}
+		}
+	}
+	return res, nil
+}

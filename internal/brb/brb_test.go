@@ -1,0 +1,134 @@
+package brb_test
+
+import (
+	"testing"
+
+	"github.com/flpsim/flp/internal/brb"
+	"github.com/flpsim/flp/internal/model"
+)
+
+func correctCount(cfg brb.Config) int {
+	c := 0
+	for n := 0; n < cfg.N; n++ {
+		if cfg.Byzantine[n] == brb.Honest {
+			c++
+		}
+	}
+	return c
+}
+
+func TestHonestBroadcastDeliversEverywhere(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		cfg := brb.Config{N: 4, F: 1, Sender: 0, Value: model.V1, Seed: seed}
+		res, err := brb.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Delivered) != 4 {
+			t.Fatalf("seed %d: %d/4 delivered", seed, len(res.Delivered))
+		}
+		for n, v := range res.Delivered {
+			if v != model.V1 {
+				t.Fatalf("seed %d: node %d delivered %v, want 1 (validity)", seed, n, v)
+			}
+		}
+	}
+}
+
+func TestValidityDespiteByzantineFlood(t *testing.T) {
+	// An honest sender's value survives F flooding Byzantine nodes.
+	for _, nf := range [][2]int{{4, 1}, {7, 2}} {
+		n, f := nf[0], nf[1]
+		byz := map[int]brb.Behavior{}
+		for i := 0; i < f; i++ {
+			byz[n-1-i] = brb.SupportBoth
+		}
+		for seed := int64(0); seed < 20; seed++ {
+			cfg := brb.Config{N: n, F: f, Sender: 0, Value: model.V0, Byzantine: byz, Seed: seed}
+			res, err := brb.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Agreement() {
+				t.Fatalf("N=%d F=%d seed %d: agreement violated: %v", n, f, seed, res.Delivered)
+			}
+			for nd, v := range res.Delivered {
+				if v != model.V0 {
+					t.Fatalf("N=%d F=%d seed %d: node %d delivered %v, want sender's 0", n, f, seed, nd, v)
+				}
+			}
+			if len(res.Delivered) != correctCount(cfg) {
+				t.Fatalf("N=%d F=%d seed %d: %d/%d correct nodes delivered",
+					n, f, seed, len(res.Delivered), correctCount(cfg))
+			}
+		}
+	}
+}
+
+func TestTwoFacedSenderCannotSplit(t *testing.T) {
+	// The classic attack: the Byzantine sender tells half the nodes 0 and
+	// half 1, flooding support for both. Agreement must survive — either
+	// nobody delivers, or every correct node delivers one common value —
+	// and totality: if anyone delivers, everyone does.
+	for _, nf := range [][2]int{{4, 1}, {7, 2}, {10, 3}} {
+		n, f := nf[0], nf[1]
+		for seed := int64(0); seed < 30; seed++ {
+			cfg := brb.Config{N: n, F: f, Sender: 0,
+				Byzantine: map[int]brb.Behavior{0: brb.TwoFaced}, Seed: seed}
+			res, err := brb.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Agreement() {
+				t.Fatalf("N=%d F=%d seed %d: two-faced sender split the correct nodes: %v",
+					n, f, seed, res.Delivered)
+			}
+			if got := len(res.Delivered); got != 0 && got != correctCount(cfg) {
+				t.Fatalf("N=%d F=%d seed %d: totality violated: %d of %d correct delivered",
+					n, f, seed, got, correctCount(cfg))
+			}
+		}
+	}
+}
+
+func TestSilentSenderDeliversNothing(t *testing.T) {
+	cfg := brb.Config{N: 4, F: 1, Sender: 0,
+		Byzantine: map[int]brb.Behavior{0: brb.Silent}, Seed: 3}
+	res, err := brb.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Delivered) != 0 {
+		t.Errorf("deliveries from a silent sender: %v", res.Delivered)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []brb.Config{
+		{N: 3, F: 1, Sender: 0}, // N ≤ 3F
+		{N: 4, F: 0, Sender: 0, Byzantine: map[int]brb.Behavior{1: brb.Silent}}, // budget
+		{N: 4, F: 1, Sender: 9}, // bad sender
+		{N: 4, F: 1, Sender: 0, Byzantine: map[int]brb.Behavior{2: brb.TwoFaced}}, // two-faced non-sender
+	}
+	for i, cfg := range cases {
+		if _, err := brb.Run(cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestNonSenderByzantineCannotForgeDelivery(t *testing.T) {
+	// Without any INITIAL, honest nodes never echo, and F flooding nodes
+	// alone cannot reach the 2F+1 READY threshold: Byzantine support
+	// cannot forge a delivery out of thin air. Modeled as a silent
+	// Byzantine sender plus a flooding accomplice at N=7, F=2.
+	cfg := brb.Config{N: 7, F: 2, Sender: 0,
+		Byzantine: map[int]brb.Behavior{0: brb.Silent, 3: brb.SupportBoth}, Seed: 11}
+	res, err := brb.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Delivered) != 0 {
+		t.Errorf("flooders forged a delivery: %v", res.Delivered)
+	}
+}

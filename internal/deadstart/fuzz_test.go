@@ -1,0 +1,40 @@
+package deadstart
+
+import (
+	"testing"
+
+	"github.com/flpsim/flp/internal/model"
+)
+
+// FuzzParseS2 hardens the only parser in the protocol against arbitrary
+// message bodies: it must never panic and must reject malformed input
+// (ok=false) rather than fabricate stage-2 data.
+func FuzzParseS2(f *testing.F) {
+	f.Add("S2|1|0,2,4")
+	f.Add("S2|0|")
+	f.Add("S2|2|1")
+	f.Add("S1")
+	f.Add("S2||")
+	f.Add("S2|1|a,b")
+	f.Add("")
+	f.Add("S2|1|0,2,")
+	f.Fuzz(func(t *testing.T, body string) {
+		inf, ok := parseS2(body)
+		if !ok {
+			return
+		}
+		if inf.input != model.V0 && inf.input != model.V1 {
+			t.Fatalf("parseS2(%q) accepted invalid input value %d", body, inf.input)
+		}
+		// Round-trip: a parsed message re-encodes to something that parses
+		// to the same data.
+		re := s2Body(inf.input, inf.heard)
+		inf2, ok2 := parseS2(re)
+		if !ok2 {
+			t.Fatalf("re-encoded %q does not parse", re)
+		}
+		if inf2.input != inf.input || len(inf2.heard) != len(inf.heard) {
+			t.Fatalf("round-trip mismatch: %v vs %v", inf, inf2)
+		}
+	})
+}

@@ -1,0 +1,214 @@
+// Package dls implements a partial-synchrony consensus in the style of
+// Dwork, Lynch, and Stockmeyer ("Consensus in the presence of partial
+// synchrony", PODC 1984 — reference [10], one of the two escape routes the
+// paper's conclusion points to). The system alternates rounds; before an
+// unknown Global Stabilization Time (GST) the adversary may drop any
+// messages, after it every message between live processes is delivered.
+//
+// The algorithm is a rotating-coordinator commit protocol with Paxos-style
+// locks (safe under full asynchrony with f < N/2 crash faults, live once
+// rounds become synchronous):
+//
+//	round r, coordinator c = r mod N:
+//	 1. every process reports (estimate, lockRound) to c;
+//	 2. on ≥ N-f reports, c proposes the estimate with the highest
+//	    lockRound (its own estimate if none is locked);
+//	 3. a process receiving propose(r, v) locks (v, r), adopts v, acks;
+//	 4. on ≥ N-f acks, c broadcasts decide(v); receivers decide.
+//
+// Quorum intersection gives agreement: once N-f processes lock v at round
+// r, every later coordinator's report quorum contains a lock ≥ r, so only
+// v can ever again be proposed. Before GST the adversary can starve every
+// quorum, and the protocol — like every protocol, by Theorem 1 — simply
+// does not terminate; after GST it decides within one rotation of live
+// coordinators.
+package dls
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/flpsim/flp/internal/model"
+)
+
+// Options configure one partial-synchrony execution.
+type Options struct {
+	// N is the number of processes; F the crash budget (F < N/2).
+	N, F int
+	// GST is the first synchronous round (1-based). Rounds before it are
+	// under the adversary's control.
+	GST int
+	// MaxRounds bounds the execution.
+	MaxRounds int
+	// DropProb is the probability an individual pre-GST message is
+	// dropped. 1.0 models the fully hostile adversary.
+	DropProb float64
+	// Seed drives the pre-GST adversary.
+	Seed int64
+	// CrashRound maps a process to the round at the start of which it
+	// crashes (1-based; 0 = initially dead).
+	CrashRound map[int]int
+}
+
+func (o Options) validate() error {
+	if o.N < 2 {
+		return fmt.Errorf("dls: need N ≥ 2, got %d", o.N)
+	}
+	if o.F < 0 || 2*o.F >= o.N {
+		return fmt.Errorf("dls: need 0 ≤ F < N/2, got F=%d N=%d", o.F, o.N)
+	}
+	if len(o.CrashRound) > o.F {
+		return fmt.Errorf("dls: %d crashes exceed budget F=%d", len(o.CrashRound), o.F)
+	}
+	if o.GST < 1 {
+		return fmt.Errorf("dls: GST must be ≥ 1, got %d", o.GST)
+	}
+	return nil
+}
+
+// Result reports one execution.
+type Result struct {
+	// Decisions maps decided processes to their value.
+	Decisions map[int]model.Value
+	// DecisionRound maps decided processes to the round they decided in.
+	DecisionRound map[int]int
+	// FirstDecisionRound is the earliest decision round, 0 if none.
+	FirstDecisionRound int
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Agreement reports whether all decisions carry one value.
+	Agreement bool
+}
+
+// AllLiveDecided reports whether every non-crashed process decided.
+func (r *Result) AllLiveDecided(opt Options) bool {
+	for p := 0; p < opt.N; p++ {
+		if _, crashed := opt.CrashRound[p]; crashed {
+			continue
+		}
+		if _, ok := r.Decisions[p]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+type proc struct {
+	estimate  model.Value
+	lockRound int // 0 = nothing locked
+	decided   bool
+	decision  model.Value
+}
+
+// Run executes the protocol from the given inputs.
+func Run(opt Options, inputs model.Inputs) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if len(inputs) != opt.N {
+		return nil, fmt.Errorf("dls: %d inputs for N=%d", len(inputs), opt.N)
+	}
+	if opt.MaxRounds <= 0 {
+		opt.MaxRounds = opt.GST + 2*opt.N
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	procs := make([]proc, opt.N)
+	for p := range procs {
+		procs[p] = proc{estimate: inputs[p]}
+	}
+	res := &Result{Decisions: map[int]model.Value{}, DecisionRound: map[int]int{}}
+
+	alive := func(p, r int) bool {
+		cr, crashed := opt.CrashRound[p]
+		return !crashed || r < cr
+	}
+	// delivered models the per-message adversary: before GST each message
+	// is dropped with DropProb; from GST on everything arrives.
+	delivered := func(r int) bool {
+		if r >= opt.GST {
+			return true
+		}
+		return rng.Float64() >= opt.DropProb
+	}
+
+	for r := 1; r <= opt.MaxRounds; r++ {
+		res.Rounds = r
+		c := r % opt.N
+
+		// Phase 1: reports to the coordinator.
+		type report struct {
+			estimate  model.Value
+			lockRound int
+		}
+		var reports []report
+		if alive(c, r) {
+			for p := 0; p < opt.N; p++ {
+				if alive(p, r) && delivered(r) {
+					reports = append(reports, report{procs[p].estimate, procs[p].lockRound})
+				}
+			}
+		}
+
+		// Phase 2: the coordinator proposes.
+		proposed := false
+		var proposal model.Value
+		if alive(c, r) && len(reports) >= opt.N-opt.F {
+			best := reports[0]
+			for _, rep := range reports[1:] {
+				if rep.lockRound > best.lockRound {
+					best = rep
+				}
+			}
+			proposal = best.estimate
+			proposed = true
+		}
+
+		// Phase 3: locks and acks.
+		acks := 0
+		if proposed {
+			for p := 0; p < opt.N; p++ {
+				if alive(p, r) && delivered(r) {
+					procs[p].lockRound = r
+					procs[p].estimate = proposal
+					if delivered(r) {
+						acks++
+					}
+				}
+			}
+		}
+
+		// Phase 4: decide.
+		if proposed && acks >= opt.N-opt.F {
+			for p := 0; p < opt.N; p++ {
+				if alive(p, r) && delivered(r) && !procs[p].decided {
+					procs[p].decided = true
+					procs[p].decision = proposal
+					res.Decisions[p] = proposal
+					res.DecisionRound[p] = r
+					if res.FirstDecisionRound == 0 {
+						res.FirstDecisionRound = r
+					}
+				}
+			}
+		}
+
+		// Stop once every live process has decided.
+		done := true
+		for p := 0; p < opt.N; p++ {
+			if alive(p, r+1) && !procs[p].decided {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+
+	seen := map[model.Value]bool{}
+	for _, v := range res.Decisions {
+		seen[v] = true
+	}
+	res.Agreement = len(seen) <= 1
+	return res, nil
+}

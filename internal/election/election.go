@@ -1,0 +1,252 @@
+// Package election implements the Bully leader-election algorithm of
+// Garcia-Molina ("Elections in a distributed computing system" — reference
+// [13] of the paper, cited among the transaction-commit literature the
+// impossibility speaks to). Elections are consensus in disguise — agreeing
+// on a leader is agreeing on a value — so FLP applies: the Bully algorithm
+// is only correct because it buys failure detection with timeouts, which
+// the asynchronous model forbids. The package makes both halves
+// executable: with timeouts the highest live process always wins; with the
+// timeout oracle disabled, an election over a crashed coordinator hangs
+// exactly the way Theorem 1 says something must.
+//
+// Timing model: discrete ticks. A message sent at tick t arrives at tick
+// t + Latency. A process that sends ELECTION to its superiors concludes
+// they are dead if no ANSWER arrives within Timeout ticks — sound iff
+// Timeout ≥ 2·Latency, which is precisely the synchrony assumption.
+package election
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options configure one election run.
+type Options struct {
+	// N is the number of processes, ids 0..N-1 (higher id = higher
+	// priority).
+	N int
+	// Crashed marks processes that are down for the whole run.
+	Crashed map[int]bool
+	// Latency is the per-message delivery delay in ticks (≥ 1).
+	Latency int
+	// Timeout is how long a process waits for ANSWER/COORDINATOR before
+	// concluding the silence means death. Zero disables timeouts — the
+	// asynchronous case.
+	Timeout int
+	// Starter is the process that notices the leader is gone and starts
+	// the election.
+	Starter int
+	// MaxTicks bounds the run. Default 10·N·(Latency+Timeout+1).
+	MaxTicks int
+}
+
+func (o Options) validate() error {
+	if o.N < 2 {
+		return fmt.Errorf("election: need N ≥ 2, got %d", o.N)
+	}
+	if o.Latency < 1 {
+		return fmt.Errorf("election: Latency must be ≥ 1, got %d", o.Latency)
+	}
+	if o.Starter < 0 || o.Starter >= o.N || o.Crashed[o.Starter] {
+		return fmt.Errorf("election: starter %d invalid or crashed", o.Starter)
+	}
+	if o.Timeout < 0 {
+		return fmt.Errorf("election: negative timeout")
+	}
+	return nil
+}
+
+// Result reports one election.
+type Result struct {
+	// Leader maps each live process to the coordinator it accepted
+	// (absent if it never learned one).
+	Leader map[int]int
+	// Elected is the unique agreed leader, or -1.
+	Elected int
+	// Ticks is the number of ticks simulated.
+	Ticks int
+	// Hung reports that the election stalled: some live process waits
+	// forever on a silence it cannot interpret.
+	Hung bool
+}
+
+type msgKind uint8
+
+const (
+	mElection    msgKind = iota // "I contest: anyone above me alive?"
+	mAnswer                     // "I am above you and alive; stand down"
+	mCoordinator                // "I am the leader"
+)
+
+type message struct {
+	from, to int
+	kind     msgKind
+	arrive   int
+}
+
+type proc struct {
+	electing    bool
+	waitingTill int // tick at which silence from superiors means death
+	stoodDown   bool
+	leader      int
+}
+
+// Run executes one Bully election.
+func Run(opt Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if opt.MaxTicks <= 0 {
+		opt.MaxTicks = 10 * opt.N * (opt.Latency + opt.Timeout + 1)
+	}
+	procs := make([]proc, opt.N)
+	for i := range procs {
+		procs[i].leader = -1
+		procs[i].waitingTill = -1
+	}
+	var inflight []message
+	res := &Result{Leader: map[int]int{}, Elected: -1}
+
+	send := func(tick, from, to int, kind msgKind) {
+		if opt.Crashed[to] {
+			return
+		}
+		inflight = append(inflight, message{from: from, to: to, kind: kind, arrive: tick + opt.Latency})
+	}
+	startElection := func(tick, p int) {
+		procs[p].electing = true
+		procs[p].stoodDown = false
+		superiors := 0
+		for q := p + 1; q < opt.N; q++ {
+			send(tick, p, q, mElection)
+			superiors++
+		}
+		if superiors == 0 {
+			// Highest id: crown immediately.
+			procs[p].leader = p
+			for q := 0; q < opt.N; q++ {
+				if q != p {
+					send(tick, p, q, mCoordinator)
+				}
+			}
+			procs[p].electing = false
+			return
+		}
+		if opt.Timeout > 0 {
+			procs[p].waitingTill = tick + opt.Timeout
+		}
+	}
+
+	startElection(0, opt.Starter)
+
+	for tick := 1; tick <= opt.MaxTicks; tick++ {
+		res.Ticks = tick
+
+		// Deliver everything due this tick, deterministically ordered.
+		var due, rest []message
+		for _, m := range inflight {
+			if m.arrive <= tick {
+				due = append(due, m)
+			} else {
+				rest = append(rest, m)
+			}
+		}
+		inflight = rest
+		sort.Slice(due, func(i, j int) bool {
+			if due[i].to != due[j].to {
+				return due[i].to < due[j].to
+			}
+			return due[i].from < due[j].from
+		})
+		for _, m := range due {
+			p := &procs[m.to]
+			switch m.kind {
+			case mElection:
+				send(tick, m.to, m.from, mAnswer)
+				if !p.electing {
+					startElection(tick, m.to)
+				}
+			case mAnswer:
+				// A superior is alive: stand down and await its verdict.
+				p.stoodDown = true
+				p.waitingTill = -1
+				p.electing = false
+			case mCoordinator:
+				p.leader = m.from
+				p.electing = false
+				p.stoodDown = false
+				p.waitingTill = -1
+			}
+		}
+
+		// Timeout expiries: silence from every superior means they are
+		// dead — claim the crown. Without timeouts this never fires, and
+		// an election sent into dead superiors hangs forever.
+		for p := 0; p < opt.N; p++ {
+			if opt.Crashed[p] || procs[p].waitingTill < 0 || tick < procs[p].waitingTill {
+				continue
+			}
+			procs[p].waitingTill = -1
+			if procs[p].electing && !procs[p].stoodDown {
+				procs[p].leader = p
+				procs[p].electing = false
+				for q := 0; q < opt.N; q++ {
+					if q != p {
+						send(tick, p, q, mCoordinator)
+					}
+				}
+			}
+		}
+
+		if len(inflight) == 0 && quiescent(procs, opt) {
+			break
+		}
+	}
+
+	for p := 0; p < opt.N; p++ {
+		if opt.Crashed[p] {
+			continue
+		}
+		if procs[p].leader >= 0 {
+			res.Leader[p] = procs[p].leader
+		}
+	}
+	leaders := map[int]bool{}
+	for _, l := range res.Leader {
+		leaders[l] = true
+	}
+	if len(leaders) == 1 && len(res.Leader) == liveCount(opt) {
+		for l := range leaders {
+			res.Elected = l
+		}
+	}
+	res.Hung = res.Elected < 0
+	return res, nil
+}
+
+func quiescent(procs []proc, opt Options) bool {
+	for p := 0; p < opt.N; p++ {
+		if opt.Crashed[p] {
+			continue
+		}
+		if procs[p].electing && procs[p].waitingTill < 0 && !procs[p].stoodDown {
+			// electing with no timer and not stood down can only be the
+			// highest-id case, resolved synchronously in startElection.
+			continue
+		}
+		if procs[p].waitingTill >= 0 || procs[p].electing {
+			return false
+		}
+	}
+	return true
+}
+
+func liveCount(opt Options) int {
+	n := 0
+	for p := 0; p < opt.N; p++ {
+		if !opt.Crashed[p] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,120 @@
+package election_test
+
+import (
+	"testing"
+
+	"github.com/flpsim/flp/internal/election"
+)
+
+func run(t *testing.T, opt election.Options) *election.Result {
+	t.Helper()
+	res, err := election.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestHighestIdWins(t *testing.T) {
+	for starter := 0; starter < 5; starter++ {
+		res := run(t, election.Options{N: 5, Latency: 1, Timeout: 3, Starter: starter})
+		if res.Elected != 4 {
+			t.Errorf("starter %d: elected %d, want 4", starter, res.Elected)
+		}
+		if res.Hung {
+			t.Errorf("starter %d: hung", starter)
+		}
+	}
+}
+
+func TestHighestLiveWinsPastCrashes(t *testing.T) {
+	// The two highest ids are dead; the bully timeout lets p2 conclude
+	// their silence means death and crown itself.
+	res := run(t, election.Options{
+		N: 5, Latency: 1, Timeout: 3, Starter: 0,
+		Crashed: map[int]bool{3: true, 4: true},
+	})
+	if res.Elected != 2 {
+		t.Errorf("elected %d, want 2 (highest live)", res.Elected)
+	}
+	for p, l := range res.Leader {
+		if l != 2 {
+			t.Errorf("p%d accepted leader %d", p, l)
+		}
+	}
+}
+
+func TestEveryCrashPatternElectsHighestLive(t *testing.T) {
+	for mask := 0; mask < 1<<4; mask++ { // crash subsets of p1..p4, p0 stays
+		crashed := map[int]bool{}
+		highest := 0
+		for b := 0; b < 4; b++ {
+			if mask&(1<<b) != 0 {
+				crashed[b+1] = true
+			}
+		}
+		for p := 4; p >= 0; p-- {
+			if !crashed[p] {
+				highest = p
+				break
+			}
+		}
+		res := run(t, election.Options{N: 5, Latency: 2, Timeout: 5, Starter: 0, Crashed: crashed})
+		if res.Elected != highest {
+			t.Errorf("crashed %v: elected %d, want %d", crashed, res.Elected, highest)
+		}
+	}
+}
+
+func TestTimeoutTooShortIsUnsound(t *testing.T) {
+	// Timeout < 2·Latency: a live superior's ANSWER arrives after the
+	// inferior's timer fired. Both may claim the crown transiently — the
+	// highest's COORDINATOR wins last-write in this implementation, but
+	// the documented soundness condition is the point of the test: with a
+	// generous timeout the anomaly is impossible by construction.
+	sound := run(t, election.Options{N: 3, Latency: 3, Timeout: 7, Starter: 0})
+	if sound.Elected != 2 || sound.Hung {
+		t.Errorf("sound timeout: elected %d hung=%v", sound.Elected, sound.Hung)
+	}
+}
+
+func TestNoTimeoutHangsOnDeadSuperior(t *testing.T) {
+	// The asynchronous case: Timeout 0 disables the failure detector. An
+	// election into dead superiors waits on a silence no process can
+	// interpret — Garcia-Molina's algorithm needs exactly the assumption
+	// the FLP model withholds.
+	res := run(t, election.Options{
+		N: 4, Latency: 1, Timeout: 0, Starter: 0,
+		Crashed: map[int]bool{2: true, 3: true},
+	})
+	if !res.Hung {
+		t.Fatalf("async election over dead superiors did not hang: %+v", res)
+	}
+	if res.Elected != -1 {
+		t.Errorf("elected %d without any way to detect death", res.Elected)
+	}
+}
+
+func TestNoTimeoutStillWorksWithLiveTop(t *testing.T) {
+	// Without timeouts the algorithm still succeeds when the silence never
+	// needs interpreting: the highest id is alive and answers everything.
+	res := run(t, election.Options{N: 4, Latency: 1, Timeout: 0, Starter: 1})
+	if res.Elected != 3 || res.Hung {
+		t.Errorf("elected %d hung=%v, want 3", res.Elected, res.Hung)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []election.Options{
+		{N: 1, Latency: 1, Starter: 0},
+		{N: 3, Latency: 0, Starter: 0},
+		{N: 3, Latency: 1, Starter: 9},
+		{N: 3, Latency: 1, Starter: 0, Crashed: map[int]bool{0: true}},
+		{N: 3, Latency: 1, Starter: 0, Timeout: -1},
+	}
+	for i, opt := range bad {
+		if _, err := election.Run(opt); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

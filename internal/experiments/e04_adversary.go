@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"github.com/flpsim/flp/internal/adversary"
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+	"github.com/flpsim/flp/internal/runtime"
+)
+
+// E4AdversarialRun reproduces Theorem 1 constructively: the staged
+// bivalence-preserving scheduler drives Paxos through `stages` stages
+// without any process ever deciding, while honoring the admissibility
+// discipline (rotating queue, earliest message first) — contrasted against
+// fair schedulers, under which the same protocol from the same inputs
+// decides every time.
+func E4AdversarialRun(stages, fairRuns int) (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "Theorem 1: adversarial non-deciding run vs. fair scheduling (paxos(n=3), inputs 011)",
+		Columns: []string{"scheduler", "runs", "decided runs", "steps (mean)", "min steps/process", "admissible discipline"},
+	}
+	pr := protocols.NewPaxosSynod(3)
+	inputs := model.Inputs{0, 1, 1}
+
+	probe := explore.ProbeOptions{}
+	adv := adversary.New(pr, adversary.Options{
+		Stages:  stages,
+		Search:  explore.Options{MaxConfigs: 2000},
+		Valency: explore.Options{MaxConfigs: 1500},
+		Probe:   &probe,
+	})
+	res, err := adv.RunFromInputs(inputs)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := adversary.Verify(pr, res)
+	if err != nil {
+		return nil, err
+	}
+	decided := 0
+	if rep.DecidedCount > 0 {
+		decided = 1
+	}
+	t.AddRow("theorem-1 adversary", 1, decided, rep.Steps, rep.MinStepsPerProcess, "verified")
+
+	for _, mk := range []struct {
+		name string
+		mk   func() runtime.Scheduler
+	}{
+		{"random-fair", func() runtime.Scheduler { return runtime.RandomFair{} }},
+		{"round-robin", func() runtime.Scheduler { return runtime.NewRoundRobin() }},
+	} {
+		agg, err := runtime.RunMany(pr, inputs, mk.mk, runtime.RunOptions{MaxSteps: 100000}, fairRuns)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(mk.name, agg.Runs, agg.Decided, int(agg.MeanSteps()), "-", "-")
+	}
+	// The same construction stalls Ben-Or once its coin tape is fixed —
+	// FLP applies to every derandomized instance, which is exactly why the
+	// randomized escape needs its probability-1 qualifier.
+	bo := protocols.NewBenOrDeterministic(3, 0)
+	boAdv := adversary.New(bo, adversary.Options{
+		Stages:  4,
+		Search:  explore.Options{MaxConfigs: 1500},
+		Valency: explore.Options{MaxConfigs: 1000},
+		Probe:   &probe,
+	})
+	boRes, err := boAdv.RunFromInputs(model.Inputs{0, 0, 1})
+	if err != nil {
+		return nil, err
+	}
+	boRep, err := adversary.Verify(bo, boRes)
+	if err != nil {
+		return nil, err
+	}
+	boDecided := 0
+	if boRep.DecidedCount > 0 {
+		boDecided = 1
+	}
+	t.AddRow("theorem-1 adversary vs "+bo.Name(), 1, boDecided, boRep.Steps, boRep.MinStepsPerProcess, "verified")
+
+	t.AddNote("the adversary sustains %d stages (%d full queue rotations) with zero decisions; the same protocol under fair schedulers decides every run", len(res.Stages), rep.Rotations)
+	t.AddNote("the adversary never crashes anyone — it only reorders deliveries, which is the content of the impossibility")
+	t.AddNote("the last row stalls Ben-Or with its coin tape fixed: FLP applies to every derandomized instance")
+	return t, nil
+}

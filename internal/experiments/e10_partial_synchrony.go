@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"github.com/flpsim/flp/internal/dls"
+	"github.com/flpsim/flp/internal/model"
+)
+
+// E10PartialSynchrony reproduces the conclusion's second escape route
+// (reference [10], Dwork–Lynch–Stockmeyer): refine the timing model. Under
+// a hostile adversary no decision happens before the global stabilization
+// time; once rounds turn synchronous, the rotating-coordinator protocol
+// decides within one coordinator rotation — and agreement holds throughout,
+// whatever the adversary did first.
+func E10PartialSynchrony(seeds int) (*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Partial-synchrony escape (DLS): no decision before GST, guaranteed decision after",
+		Columns: []string{"N", "f", "GST", "pre-GST drop", "seeds", "decided before GST", "all decided", "worst decision round", "agreement violations"},
+	}
+	type cell struct {
+		n, f, gst int
+		drop      float64
+	}
+	cells := []cell{
+		{3, 1, 8, 1.0},
+		{3, 1, 8, 0.7},
+		{5, 2, 6, 1.0},
+		{5, 2, 6, 0.5},
+		{7, 3, 10, 1.0},
+	}
+	for _, c := range cells {
+		before, allDecided, worst, violations := 0, 0, 0, 0
+		for seed := 0; seed < seeds; seed++ {
+			in := make(model.Inputs, c.n)
+			for i := 0; i < c.n/2; i++ {
+				in[i] = 1
+			}
+			res, err := dls.Run(dls.Options{
+				N: c.n, F: c.f, GST: c.gst, DropProb: c.drop, Seed: int64(seed),
+			}, in)
+			if err != nil {
+				return nil, err
+			}
+			if res.FirstDecisionRound > 0 && res.FirstDecisionRound < c.gst && c.drop == 1.0 {
+				before++
+			}
+			if res.AllLiveDecided(dls.Options{N: c.n, CrashRound: nil}) {
+				allDecided++
+			}
+			for _, r := range res.DecisionRound {
+				if r > worst {
+					worst = r
+				}
+			}
+			if !res.Agreement {
+				violations++
+			}
+		}
+		t.AddRow(c.n, c.f, c.gst, c.drop, seeds, before, allDecided, worst, violations)
+	}
+	t.AddNote("with drop=1.0 the adversary suppresses every pre-GST message: 'decided before GST' must be 0 — the FLP adversary at work")
+	t.AddNote("'worst decision round' stays within GST + N: one rotation of coordinators after stabilization suffices")
+	return t, nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+)
+
+// E11Agreement reproduces the partial-correctness definitions of Section 2
+// as a checker census: which protocol attempts satisfy condition (1) — no
+// accessible configuration has two decision values — and condition (2) —
+// both values are possible. Together with E2 and E4 this completes the
+// trilemma: every attempt gives up agreement, fault tolerance, or
+// nontriviality (or, like Paxos, guaranteed termination).
+func E11Agreement() (*Table, error) {
+	t := &Table{
+		ID:      "E11",
+		Title:   "Partial correctness census: agreement (condition 1) and nontriviality (condition 2)",
+		Columns: []string{"protocol", "agreement", "nontrivial", "configs explored", "exhaustive", "escape hatch"},
+	}
+	cases := []struct {
+		pr     model.Protocol
+		escape string
+	}{
+		{protocols.NewTrivial0(3), "gives up nontriviality"},
+		{protocols.NewWaitAll(3), "gives up fault tolerance (blocks on one crash)"},
+		{protocols.NewNaiveMajority(3), "gives up agreement"},
+		{protocols.NewTwoPhaseCommit(3), "gives up fault tolerance (window of vulnerability)"},
+	}
+	for _, tc := range cases {
+		rep, err := explore.CheckPartialCorrectness(tc.pr, explore.Options{})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(tc.pr.Name(), rep.AgreementHolds, rep.Nontrivial, rep.Configs, rep.Complete, tc.escape)
+	}
+	// Paxos cannot be checked exhaustively; report a bounded sweep for
+	// agreement and certify nontriviality by probe witnesses (decisions
+	// sit deeper than the breadth-first budget reaches).
+	px := protocols.NewPaxosSynod(3)
+	rep, err := explore.CheckPartialCorrectness(px, explore.Options{MaxConfigs: 2000})
+	if err != nil {
+		return nil, err
+	}
+	nontrivial := true
+	for _, v := range []model.Value{model.V0, model.V1} {
+		c, err := model.Initial(px, model.UniformInputs(3, v))
+		if err != nil {
+			return nil, err
+		}
+		_, _, f0, f1 := explore.ProbeValencies(px, c, explore.ProbeOptions{})
+		if v == model.V0 && !f0 || v == model.V1 && !f1 {
+			nontrivial = false
+		}
+	}
+	t.AddRow(px.Name(), rep.AgreementHolds, nontrivial, rep.Configs, rep.Complete,
+		"gives up guaranteed termination (livelock, see E4)")
+	t.AddNote("naivemajority's 'false' in the agreement column comes with a concrete witness schedule (two processes deciding 0 and 1)")
+	t.AddNote("every row forfeits exactly one desideratum — the content of Theorem 1 viewed as a trilemma")
+	return t, nil
+}

@@ -1,0 +1,29 @@
+// Package explore is the model checker over the FLP system model: it
+// enumerates configurations reachable under all message-system behaviours
+// and classifies them by valency, mechanizing the definitions and lemmas of
+// Sections 2 and 3 of the paper.
+//
+//   - [Explore] is budgeted breadth-first reachability over configurations,
+//     deduplicated by canonical key.
+//   - [Classify] computes the valency of a configuration: the set V of
+//     decision values of configurations reachable from it. Bivalence
+//     (|V| = 2) is certified by two concrete witness schedules and is exact
+//     even under a budget; univalence claims additionally require the
+//     exploration to have been exhaustive.
+//   - [CensusInitial] mechanizes Lemma 2: it classifies every initial
+//     configuration and locates a bivalent one, or, failing that, exhibits
+//     the adjacent 0-valent/1-valent pair the proof of Lemma 2 pivots on.
+//   - [CensusLemma3] and [FindBivalentExtension] mechanize Lemma 3: from a
+//     bivalent C and an applicable event e, the frontier
+//     D = e(reach(C) without e) contains a bivalent configuration.
+//   - [CheckCommutativity] and [RandomDisjointSchedules] mechanize Lemma 1.
+//   - [CheckPartialCorrectness] verifies the two partial-correctness
+//     conditions: no accessible configuration has two decision values, and
+//     both values are possible decisions.
+//
+// Exploration soundness notes. Null events that are no-ops (the process
+// state does not change and nothing is sent) are skipped; they generate no
+// new configurations, so no reachable configuration is lost. Duplicate
+// message copies are interchangeable under multiset semantics, so event
+// enumeration per distinct message is exhaustive.
+package explore

@@ -1,0 +1,94 @@
+package explore
+
+import (
+	"fmt"
+
+	"github.com/flpsim/flp/internal/model"
+)
+
+// Figure3Report summarizes the mechanized Case 2 of the Lemma 3 proof
+// (p' = p, Figure 3). There, for neighbors C0 and C1 = e'(C0) with e and
+// e' both events of the same process p, the proof takes a finite deciding
+// run σ from C0 in which p takes no steps, sets A = σ(C0), and uses
+// Lemma 1 twice:
+//
+//	e(A)      = σ(D0)   where D0 = e(C0)
+//	e(e'(A))  = σ(D1)   where D1 = e(e'(C0))
+//
+// making A's successors hit both D-sides — so A would be bivalent, yet the
+// run to A is deciding: contradiction. This checker verifies the two
+// commutation equalities (the figure's arrows) on concrete configurations;
+// the contradiction itself cannot materialize on a sound model, which
+// TestLemma2ProofContradictionUnconstructible covers from the other side.
+type Figure3Report struct {
+	// Pairs is the number of (C0, e') same-process neighbor pairs
+	// examined.
+	Pairs int
+	// SigmaFound counts pairs for which a p-free deciding run from C0
+	// exists (the proof's precondition; protocols that are not fault
+	// tolerant fail it, which is their escape).
+	SigmaFound int
+	// Violations counts commutation equalities that failed — zero for a
+	// sound model.
+	Violations int
+	// Complete reports whether ℰ was exhausted within the budget.
+	Complete bool
+}
+
+// CheckLemma3Figure3 verifies the Figure 3 commutations on every
+// same-process neighbor pair in the frontier of (c, e).
+func CheckLemma3Figure3(pr model.Protocol, c *model.Config, e model.Event, opt Options) (Figure3Report, error) {
+	if !model.Applicable(c, e) {
+		return Figure3Report{}, fmt.Errorf("explore: event %s not applicable to C", e)
+	}
+	rep := Figure3Report{}
+	p := e.P
+	skipP := func(ev model.Event) bool { return ev.P == p }
+
+	complete, _ := Explore(pr, c, opt, &e, func(C0 *model.Config, _ int, _ func() model.Schedule) bool {
+		for _, ePrime := range model.Events(C0) {
+			if ePrime.P != p || ePrime.Same(e) {
+				continue
+			}
+			if ePrime.IsNull() && model.IsNoOp(pr, C0, ePrime) {
+				continue
+			}
+			rep.Pairs++
+
+			// The proof's σ: a finite deciding run from C0 in which p
+			// takes no steps.
+			var sigma model.Schedule
+			found := false
+			ExploreFiltered(pr, C0, opt, skipP, func(cfg *model.Config, _ int, path func() model.Schedule) bool {
+				if len(cfg.DecisionValues()) > 0 {
+					sigma = path()
+					found = true
+					return true
+				}
+				return false
+			})
+			if !found {
+				continue
+			}
+			rep.SigmaFound++
+
+			A := model.MustApplySchedule(pr, C0, sigma)
+			D0 := model.MustApply(pr, C0, e)
+			C1 := model.MustApply(pr, C0, ePrime)
+			D1 := model.MustApply(pr, C1, e)
+
+			// e(A) = σ(D0): σ avoids p, e is p's — Lemma 1.
+			if !model.MustApply(pr, A, e).Equal(model.MustApplySchedule(pr, D0, sigma)) {
+				rep.Violations++
+			}
+			// e(e'(A)) = σ(D1): same commutation through the longer arm.
+			eA := model.MustApply(pr, A, ePrime)
+			if !model.MustApply(pr, eA, e).Equal(model.MustApplySchedule(pr, D1, sigma)) {
+				rep.Violations++
+			}
+		}
+		return false
+	})
+	rep.Complete = complete
+	return rep, nil
+}

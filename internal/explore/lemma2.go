@@ -1,0 +1,107 @@
+package explore
+
+import (
+	"github.com/flpsim/flp/internal/model"
+)
+
+// InitialValency is the classification of one initial configuration.
+type InitialValency struct {
+	Inputs model.Inputs
+	Info   ValencyInfo
+}
+
+// AdjacentPair is a pair of initial configurations differing in the input
+// of exactly one process, with the valency of each side — the object at the
+// heart of the Lemma 2 proof: a 0-valent initial configuration adjacent to
+// a 1-valent one forces a bivalent one (by delaying the differing process).
+type AdjacentPair struct {
+	Zero, One model.Inputs
+	Differ    model.PID
+}
+
+// InitialCensus is the result of classifying every initial configuration of
+// a protocol — the mechanized content of Lemma 2.
+type InitialCensus struct {
+	Protocol string
+	N        int
+	PerInput []InitialValency
+	// Counts tallies classifications.
+	Counts map[Valency]int
+	// Bivalent is the first bivalent initial configuration found, if any.
+	Bivalent *InitialValency
+	// Adjacent is a 0-valent/1-valent adjacent pair, when one exists among
+	// the exactly-classified configurations; the Lemma 2 proof derives a
+	// contradiction from such a pair, so for protocols where Lemma 2
+	// applies, finding one alongside no bivalent configuration would
+	// falsify the lemma.
+	Adjacent *AdjacentPair
+	// AllExact reports whether every classification was definitive.
+	AllExact bool
+}
+
+// HasBivalent reports whether a bivalent initial configuration was found.
+func (ic InitialCensus) HasBivalent() bool { return ic.Bivalent != nil }
+
+// CensusInitial classifies all 2^N initial configurations of pr.
+func CensusInitial(pr model.Protocol, opt Options) (InitialCensus, error) {
+	census := InitialCensus{
+		Protocol: pr.Name(),
+		N:        pr.N(),
+		Counts:   make(map[Valency]int),
+		AllExact: true,
+	}
+	for _, in := range model.AllInputs(pr.N()) {
+		c, err := model.Initial(pr, in)
+		if err != nil {
+			return census, err
+		}
+		info := Classify(pr, c, opt)
+		iv := InitialValency{Inputs: in, Info: info}
+		census.PerInput = append(census.PerInput, iv)
+		census.Counts[info.Valency]++
+		if !info.Exact {
+			census.AllExact = false
+		}
+		if info.Valency == Bivalent && census.Bivalent == nil {
+			ivCopy := iv
+			census.Bivalent = &ivCopy
+		}
+	}
+	census.Adjacent = findAdjacentPair(census.PerInput)
+	return census, nil
+}
+
+// findAdjacentPair scans classified initial configurations for a 0-valent
+// one adjacent to a 1-valent one (exact classifications only).
+func findAdjacentPair(ivs []InitialValency) *AdjacentPair {
+	for i := range ivs {
+		if !ivs[i].Info.Exact || ivs[i].Info.Valency != ZeroValent {
+			continue
+		}
+		for j := range ivs {
+			if !ivs[j].Info.Exact || ivs[j].Info.Valency != OneValent {
+				continue
+			}
+			if p, ok := ivs[i].Inputs.AdjacentTo(ivs[j].Inputs); ok {
+				return &AdjacentPair{Zero: ivs[i].Inputs, One: ivs[j].Inputs, Differ: p}
+			}
+		}
+	}
+	return nil
+}
+
+// FindBivalentInitial returns a bivalent initial configuration of pr,
+// scanning input assignments in order. It reports ok=false if none was
+// certified within the budget.
+func FindBivalentInitial(pr model.Protocol, opt Options) (*model.Config, model.Inputs, bool) {
+	for _, in := range model.AllInputs(pr.N()) {
+		c, err := model.Initial(pr, in)
+		if err != nil {
+			return nil, nil, false
+		}
+		if info := Classify(pr, c, opt); info.Valency == Bivalent {
+			return c, in, true
+		}
+	}
+	return nil, nil, false
+}

@@ -1,0 +1,120 @@
+package explore_test
+
+import (
+	"testing"
+
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+)
+
+func TestLemma2ProofWaitAll(t *testing.T) {
+	// WaitAll has adjacent 0-valent/1-valent initial configurations — the
+	// setup of the Lemma 2 contradiction — but the proof's first move (a
+	// deciding run in which the differing process takes no steps) fails:
+	// that is precisely the fault tolerance WaitAll lacks, and why Lemma 2
+	// does not apply to it.
+	steps, err := explore.CheckLemma2Proof(protocols.NewWaitAll(3), explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("no adjacent univalent pairs found for WaitAll")
+	}
+	for _, s := range steps {
+		if s.SigmaFound {
+			t.Errorf("pair %s/%s: found a deciding run without p%d — WaitAll should need everyone",
+				s.Zero, s.One, s.Differ)
+		}
+		if s.Contradiction() {
+			t.Errorf("pair %s/%s: Lemma 2 contradiction materialized; the model is broken", s.Zero, s.One)
+		}
+	}
+}
+
+func TestLemma2ProofTwoPhaseCommit(t *testing.T) {
+	steps, err := explore.CheckLemma2Proof(protocols.NewTwoPhaseCommit(3), explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("no adjacent univalent pairs found for 2PC")
+	}
+	for _, s := range steps {
+		if s.SigmaFound {
+			t.Errorf("pair %s/%s: 2PC decided without p%d", s.Zero, s.One, s.Differ)
+		}
+	}
+}
+
+func TestLemma2ProofNoPairsWhenBivalent(t *testing.T) {
+	// NaiveMajority satisfies Lemma 2's conclusion: bivalent initial
+	// configurations separate the 0-valent region from the 1-valent one,
+	// so no adjacent univalent pair exists to even start the proof on.
+	steps, err := explore.CheckLemma2Proof(protocols.NewNaiveMajority(3), explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 0 {
+		t.Errorf("found %d adjacent 0/1-valent pairs despite bivalent separators", len(steps))
+	}
+}
+
+func TestLemma2ProofTrivial0(t *testing.T) {
+	// All initial configurations 0-valent: no pairs at all.
+	steps, err := explore.CheckLemma2Proof(protocols.NewTrivial0(3), explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 0 {
+		t.Errorf("trivial0 produced %d proof steps", len(steps))
+	}
+}
+
+// faultTolerantButSplit is a synthetic protocol engineered to run the
+// proof's happy path to completion: each process decides its own input
+// immediately. It "tolerates" silent processes (deciding runs exist
+// without any given process), its initial configurations 000 and 111 are
+// genuinely 0- and 1-valent... but mixed inputs make two decision values
+// reachable via agreement violations, so no adjacent univalent pairs
+// survive. To exercise SigmaFound and SameDecision, restrict to N=2 with
+// the pair 00/01: 00 is 0-valent; 01 is bivalent (two deciders disagree),
+// so even here the lemma protects itself. The test documents that the
+// contradiction is unconstructible on every specimen we can build — which
+// is the lemma.
+type faultTolerantButSplit struct{ n int }
+
+type ftsState struct {
+	input model.Value
+	out   model.Output
+}
+
+func (s ftsState) Key() string {
+	return string('0'+byte(s.input)) + "|" + s.out.String()
+}
+func (s ftsState) Output() model.Output { return s.out }
+
+func (p faultTolerantButSplit) Name() string { return "fts" }
+func (p faultTolerantButSplit) N() int       { return p.n }
+func (p faultTolerantButSplit) Init(_ model.PID, input model.Value) model.State {
+	return ftsState{input: input}
+}
+func (p faultTolerantButSplit) Step(_ model.PID, s model.State, _ *model.Message) (model.State, []model.Message) {
+	st := s.(ftsState)
+	if !st.out.Decided() {
+		st.out = model.OutputOf(st.input)
+	}
+	return st, nil
+}
+
+func TestLemma2ProofContradictionUnconstructible(t *testing.T) {
+	steps, err := explore.CheckLemma2Proof(faultTolerantButSplit{n: 2}, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range steps {
+		if s.Contradiction() {
+			t.Fatalf("constructed the Lemma 2 contradiction on %s/%s — impossible", s.Zero, s.One)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package explore
+
+import (
+	"fmt"
+
+	"github.com/flpsim/flp/internal/model"
+)
+
+// Lemma3Result is the mechanized content of Lemma 3 for one (C, e) pair:
+// with ℰ the configurations reachable from C without applying e, and
+// D = e(ℰ), the lemma asserts D contains a bivalent configuration.
+type Lemma3Result struct {
+	Event model.Event
+	// FrontierSize is |ℰ| examined (equals |D| examined, since e is
+	// applicable to every member of ℰ).
+	FrontierSize int
+	// DValencies tallies the classification of each member of D.
+	DValencies map[Valency]int
+	// BivalentFound reports whether a bivalent member of D was certified.
+	BivalentFound bool
+	// Sigma is a schedule from C in which e is the last event applied and
+	// whose result is bivalent, when found.
+	Sigma model.Schedule
+	// Complete reports whether ℰ was exhausted within the budget.
+	Complete bool
+}
+
+// CensusLemma3 examines the full frontier D for a configuration C and
+// applicable event e: it classifies e(E) for every E ∈ ℰ (up to the
+// budget), tallies the classes, and records a witness schedule to a
+// bivalent member. For a bivalent C of a protocol within the lemma's
+// hypotheses, BivalentFound must come back true.
+//
+// cache may be nil; passing one shares classifications across calls.
+func CensusLemma3(pr model.Protocol, c *model.Config, e model.Event, opt Options, cache *Cache) (Lemma3Result, error) {
+	return lemma3(pr, c, e, opt, cache, false)
+}
+
+// FindBivalentExtension searches ℰ in breadth-first order and returns as
+// soon as a bivalent e(E) is certified — the primitive each stage of the
+// Theorem 1 adversary is built on. The returned Sigma ends with e.
+func FindBivalentExtension(pr model.Protocol, c *model.Config, e model.Event, opt Options, cache *Cache) (Lemma3Result, error) {
+	return lemma3(pr, c, e, opt, cache, true)
+}
+
+func lemma3(pr model.Protocol, c *model.Config, e model.Event, opt Options, cache *Cache, stopAtFirst bool) (Lemma3Result, error) {
+	if !model.Applicable(c, e) {
+		return Lemma3Result{}, fmt.Errorf("explore: event %s not applicable to C", e)
+	}
+	if cache == nil {
+		cache = NewCache(pr, opt)
+	}
+	res := Lemma3Result{Event: e, DValencies: make(map[Valency]int)}
+	complete, _ := Explore(pr, c, opt, &e, func(E *model.Config, _ int, path func() model.Schedule) bool {
+		res.FrontierSize++
+		// e is applicable to every E ∈ ℰ: for a delivery event, only e
+		// itself could consume its message, and e is excluded from ℰ's
+		// schedules; null events are always applicable. Assert anyway.
+		if !model.Applicable(E, e) {
+			panic(fmt.Sprintf("explore: event %s not applicable to member of ℰ; model invariant broken", e))
+		}
+		D := model.MustApply(pr, E, e)
+		info := cache.Classify(D)
+		res.DValencies[info.Valency]++
+		if info.Valency == Bivalent && res.Sigma == nil {
+			res.BivalentFound = true
+			res.Sigma = append(path(), e)
+			if stopAtFirst {
+				return true
+			}
+		}
+		return false
+	})
+	res.Complete = complete
+	return res, nil
+}

@@ -1,0 +1,24 @@
+package explore
+
+// Options bound an exploration. The zero value is usable: defaults are
+// applied by the entry points.
+type Options struct {
+	// MaxConfigs is the maximum number of distinct configurations to
+	// visit in one exploration. When the bound is hit the exploration
+	// reports Complete=false and results become one-sided (bivalence
+	// certificates remain exact; univalence claims do not). Default 200000.
+	MaxConfigs int
+	// MaxDepth bounds the schedule length explored; 0 means unlimited.
+	MaxDepth int
+}
+
+// DefaultMaxConfigs is the per-exploration budget applied when
+// Options.MaxConfigs is zero.
+const DefaultMaxConfigs = 200000
+
+func (o Options) withDefaults() Options {
+	if o.MaxConfigs <= 0 {
+		o.MaxConfigs = DefaultMaxConfigs
+	}
+	return o
+}

@@ -1,0 +1,114 @@
+package explore
+
+import (
+	"github.com/flpsim/flp/internal/model"
+)
+
+// Visit is called once per distinct reachable configuration, in
+// breadth-first order, starting with the root itself at depth 0. path
+// reconstructs the schedule from the root to this configuration on demand.
+// Returning stop=true ends the exploration early.
+type Visit func(cfg *model.Config, depth int, path func() model.Schedule) (stop bool)
+
+// Explore performs budgeted breadth-first reachability from c under
+// protocol pr, deduplicating configurations by canonical key. If avoid is
+// non-nil, events Same as *avoid are never applied — this realizes the set
+// ℰ of "configurations reachable from C without applying e" from Lemma 3.
+//
+// It reports whether the reachable set was exhausted within the budget
+// (complete) and how many distinct configurations were visited.
+func Explore(pr model.Protocol, c *model.Config, opt Options, avoid *model.Event, visit Visit) (complete bool, visited int) {
+	var skip func(model.Event) bool
+	if avoid != nil {
+		skip = func(e model.Event) bool { return e.Same(*avoid) }
+	}
+	return ExploreFiltered(pr, c, opt, skip, visit)
+}
+
+// ExploreFiltered is Explore with an arbitrary event filter: events for
+// which skip returns true are never applied. A nil skip admits everything.
+// The Lemma 2 proof walk uses it to explore runs in which a whole process
+// takes no steps.
+func ExploreFiltered(pr model.Protocol, c *model.Config, opt Options, skip func(model.Event) bool, visit Visit) (complete bool, visited int) {
+	opt = opt.withDefaults()
+
+	type node struct {
+		cfg    *model.Config
+		depth  int
+		parent int
+		via    model.Event
+	}
+	nodes := []node{{cfg: c, depth: 0, parent: -1}}
+	seen := map[string]bool{c.Key(): true}
+
+	pathOf := func(i int) func() model.Schedule {
+		return func() model.Schedule {
+			var rev model.Schedule
+			for j := i; nodes[j].parent >= 0; j = nodes[j].parent {
+				rev = append(rev, nodes[j].via)
+			}
+			// Reverse into root-to-node order.
+			sigma := make(model.Schedule, len(rev))
+			for k := range rev {
+				sigma[k] = rev[len(rev)-1-k]
+			}
+			return sigma
+		}
+	}
+
+	truncated := false
+	for i := 0; i < len(nodes); i++ {
+		n := nodes[i]
+		if visit != nil && visit(n.cfg, n.depth, pathOf(i)) {
+			return false, len(nodes)
+		}
+		if opt.MaxDepth > 0 && n.depth >= opt.MaxDepth {
+			truncated = true
+			continue
+		}
+		for _, e := range model.Events(n.cfg) {
+			if skip != nil && skip(e) {
+				continue
+			}
+			if e.IsNull() && model.IsNoOp(pr, n.cfg, e) {
+				continue
+			}
+			nc := model.MustApply(pr, n.cfg, e)
+			k := nc.Key()
+			if seen[k] {
+				continue
+			}
+			if len(nodes) >= opt.MaxConfigs {
+				truncated = true
+				break
+			}
+			seen[k] = true
+			nodes = append(nodes, node{cfg: nc, depth: n.depth + 1, parent: i, via: e})
+		}
+	}
+	return !truncated, len(nodes)
+}
+
+// Reachable reports whether target is reachable from c (by configuration
+// key equality), returning a witness schedule when it is.
+func Reachable(pr model.Protocol, c, target *model.Config, opt Options) (model.Schedule, bool) {
+	tk := target.Key()
+	var witness model.Schedule
+	found := false
+	Explore(pr, c, opt, nil, func(cfg *model.Config, _ int, path func() model.Schedule) bool {
+		if cfg.Key() == tk {
+			witness = path()
+			found = true
+			return true
+		}
+		return false
+	})
+	return witness, found
+}
+
+// CountReachable returns the number of distinct configurations reachable
+// from c within the budget and whether the count is exact.
+func CountReachable(pr model.Protocol, c *model.Config, opt Options) (count int, exact bool) {
+	complete, visited := Explore(pr, c, opt, nil, nil)
+	return visited, complete
+}

@@ -1,0 +1,187 @@
+package explore
+
+import (
+	"fmt"
+
+	"github.com/flpsim/flp/internal/model"
+)
+
+// Valency classifies a configuration C by V, the set of decision values of
+// configurations reachable from C (Section 3 of the paper).
+type Valency int
+
+const (
+	// Unknown: the exploration budget was exhausted before the class
+	// could be established (fewer than two values seen, reachable set not
+	// exhausted).
+	Unknown Valency = iota
+	// Stuck: the reachable set was exhausted and contains no decision at
+	// all (V = ∅). The paper rules this out for totally correct protocols
+	// ("by the total correctness of P ... V ≠ ∅"); protocols that block —
+	// 2PC with a dead coordinator — exhibit it.
+	Stuck
+	// ZeroValent: V = {0}.
+	ZeroValent
+	// OneValent: V = {1}.
+	OneValent
+	// Bivalent: V = {0, 1}.
+	Bivalent
+)
+
+func (v Valency) String() string {
+	switch v {
+	case Unknown:
+		return "unknown"
+	case Stuck:
+		return "stuck"
+	case ZeroValent:
+		return "0-valent"
+	case OneValent:
+		return "1-valent"
+	case Bivalent:
+		return "bivalent"
+	}
+	return fmt.Sprintf("Valency(%d)", int(v))
+}
+
+// Univalent reports whether the class is 0-valent or 1-valent.
+func (v Valency) Univalent() bool { return v == ZeroValent || v == OneValent }
+
+// ValentFor returns the univalent class for decision value d.
+func ValentFor(d model.Value) Valency {
+	if d == model.V0 {
+		return ZeroValent
+	}
+	return OneValent
+}
+
+// ValencyInfo is the result of classifying one configuration.
+type ValencyInfo struct {
+	Valency Valency
+	// Exact reports whether the classification is definitive. Bivalence
+	// is exact whenever both witnesses were found, regardless of budget;
+	// ZeroValent, OneValent, and Stuck are exact only when the reachable
+	// set was exhausted.
+	Exact bool
+	// Witness0 and Witness1 are schedules from the configuration to a
+	// configuration with decision value 0 (resp. 1), when found. A
+	// bivalence certificate is the pair of them.
+	Witness0, Witness1 model.Schedule
+	// Visited is the number of distinct configurations explored.
+	Visited int
+	// Complete reports whether the reachable set was exhausted.
+	Complete bool
+
+	// hasZero/hasOne record which decision values were seen; they are kept
+	// separately from the witnesses because a decision present in the root
+	// itself has a valid but empty (nil-ambiguous) witness schedule.
+	hasZero, hasOne bool
+}
+
+// HasWitness reports whether a configuration with decision value d was
+// reached during classification.
+func (v ValencyInfo) HasWitness(d model.Value) bool {
+	if d == model.V0 {
+		return v.hasZero
+	}
+	return v.hasOne
+}
+
+// Classify computes the valency of c under pr, within the given budget.
+//
+// The search is breadth-first and stops as soon as both decision values
+// have been seen (a bivalence certificate needs nothing more). Witness
+// schedules are the shortest ones in event count.
+func Classify(pr model.Protocol, c *model.Config, opt Options) ValencyInfo {
+	var info ValencyInfo
+	complete, visited := Explore(pr, c, opt, nil, func(cfg *model.Config, _ int, path func() model.Schedule) bool {
+		for _, d := range cfg.DecisionValues() {
+			switch d {
+			case model.V0:
+				if !info.hasZero {
+					info.hasZero = true
+					info.Witness0 = path()
+				}
+			case model.V1:
+				if !info.hasOne {
+					info.hasOne = true
+					info.Witness1 = path()
+				}
+			}
+		}
+		return info.hasZero && info.hasOne
+	})
+	info.Visited = visited
+	info.Complete = complete
+
+	switch {
+	case info.hasZero && info.hasOne:
+		info.Valency = Bivalent
+		info.Exact = true
+	case info.hasZero:
+		info.Valency = ZeroValent
+		info.Exact = complete
+	case info.hasOne:
+		info.Valency = OneValent
+		info.Exact = complete
+	case complete:
+		info.Valency = Stuck
+		info.Exact = true
+	default:
+		info.Valency = Unknown
+	}
+	if !info.Exact {
+		info.Valency = Unknown
+	}
+	return info
+}
+
+// Cache memoizes valency classifications by configuration key. All entries
+// in one cache must be produced with the same Options for the memoization
+// to be meaningful; Cache enforces that by carrying the Options itself.
+type Cache struct {
+	pr      model.Protocol
+	opt     Options
+	probe   *ProbeOptions
+	entries map[string]ValencyInfo
+	hits    int
+	misses  int
+}
+
+// NewCache returns a valency cache for pr with a fixed exploration budget.
+func NewCache(pr model.Protocol, opt Options) *Cache {
+	return &Cache{pr: pr, opt: opt.withDefaults(), entries: make(map[string]ValencyInfo)}
+}
+
+// NewSmartCache returns a cache that classifies via ClassifySmart: probe
+// runs first, budgeted breadth-first search as fallback. This is the
+// configuration the Theorem 1 adversary uses on protocols with unbounded
+// state spaces.
+func NewSmartCache(pr model.Protocol, opt Options, popt ProbeOptions) *Cache {
+	p := popt.withDefaults()
+	return &Cache{pr: pr, opt: opt.withDefaults(), probe: &p, entries: make(map[string]ValencyInfo)}
+}
+
+// Classify returns the memoized classification of c.
+func (vc *Cache) Classify(c *model.Config) ValencyInfo {
+	k := c.Key()
+	if info, ok := vc.entries[k]; ok {
+		vc.hits++
+		return info
+	}
+	vc.misses++
+	var info ValencyInfo
+	if vc.probe != nil {
+		info = ClassifySmart(vc.pr, c, vc.opt, *vc.probe)
+	} else {
+		info = Classify(vc.pr, c, vc.opt)
+	}
+	vc.entries[k] = info
+	return info
+}
+
+// Stats returns cache hit/miss counters.
+func (vc *Cache) Stats() (hits, misses int) { return vc.hits, vc.misses }
+
+// Len returns the number of memoized configurations.
+func (vc *Cache) Len() int { return len(vc.entries) }

@@ -1,0 +1,86 @@
+// Package failuredetector implements the unreliable-failure-detector
+// escape from the FLP impossibility (Chandra & Toueg, "Unreliable failure
+// detectors for reliable distributed systems"): augment the asynchronous
+// model with an oracle that may mis-suspect processes, and consensus
+// becomes solvable with f < N/2 crash faults — liveness hinging entirely
+// on the oracle's eventual accuracy, safety on nothing at all.
+//
+// The paper under reproduction proves why some such augmentation is
+// necessary; this package demonstrates that the weakest useful one
+// suffices, and that each property of the detector is load-bearing:
+//
+//   - an eventually accurate detector yields decisions one rotation after
+//     it stabilizes;
+//   - a detector with no accuracy (suspect everyone, always) livelocks the
+//     rotating coordinator forever — the FLP adversary reborn as oracle
+//     noise;
+//   - a detector with no completeness (never suspect anyone) blocks the
+//     first time a coordinator dies, because no process can justify moving
+//     on — the paper's "impossible to tell whether a process has died or
+//     is just running very slowly", verbatim.
+package failuredetector
+
+import (
+	"math/rand"
+)
+
+// Detector is the failure-detector oracle: at a global time tick, does
+// process p suspect process q? Implementations receive the ground-truth
+// crash indicator so they can model completeness; real detectors
+// approximate it with timeouts, which the asynchronous model forbids — the
+// oracle is exactly the extra power FLP says is needed.
+type Detector interface {
+	Name() string
+	// Suspects reports whether p suspects q at the given tick. crashed
+	// tells the implementation whether q is actually crashed by now.
+	Suspects(p, q, tick int, crashed bool) bool
+}
+
+// EventuallyAccurate models ◇P (eventually perfect), which implies the ◇S
+// detector of the Chandra-Toueg algorithm: before StableAt it may suspect
+// anyone (seeded noise); from StableAt on it suspects exactly the crashed
+// processes.
+type EventuallyAccurate struct {
+	// StableAt is the tick from which suspicions are exact.
+	StableAt int
+	// NoiseProb is the pre-stability probability of suspecting any given
+	// process at any given tick.
+	NoiseProb float64
+	// Seed drives the pre-stability noise.
+	Seed int64
+}
+
+// Name implements Detector.
+func (d EventuallyAccurate) Name() string { return "eventually-accurate" }
+
+// Suspects implements Detector.
+func (d EventuallyAccurate) Suspects(p, q, tick int, crashed bool) bool {
+	if tick >= d.StableAt {
+		return crashed
+	}
+	// Deterministic per (p, q, tick): derive a value from the tuple.
+	h := rand.New(rand.NewSource(d.Seed ^ int64(p)<<40 ^ int64(q)<<20 ^ int64(tick)))
+	return h.Float64() < d.NoiseProb
+}
+
+// Paranoid suspects everyone always: complete but never accurate. The
+// rotating coordinator never survives a round, so no decision is ever
+// reached — oracle-flavoured FLP.
+type Paranoid struct{}
+
+// Name implements Detector.
+func (Paranoid) Name() string { return "paranoid" }
+
+// Suspects implements Detector.
+func (Paranoid) Suspects(int, int, int, bool) bool { return true }
+
+// Blind never suspects anyone: accurate but not complete. The first
+// crashed coordinator blocks the protocol forever, because without
+// timeouts nobody can distinguish its death from slowness.
+type Blind struct{}
+
+// Name implements Detector.
+func (Blind) Name() string { return "blind" }
+
+// Suspects implements Detector.
+func (Blind) Suspects(int, int, int, bool) bool { return false }

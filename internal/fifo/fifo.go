@@ -1,0 +1,132 @@
+// Package fifo tracks send-order information on top of the model's untimed
+// message buffer. The paper's Theorem 1 construction orders the buffer "by
+// the time the messages were sent, earliest first" to argue admissibility;
+// the adversary and the fair schedulers of the runtime both need that
+// ordering, while valency analysis must not see it (timing would fragment
+// configuration equality). A Tracker mirrors a configuration's buffer with
+// sequence numbers, and is advanced alongside it.
+package fifo
+
+import (
+	"fmt"
+
+	"github.com/flpsim/flp/internal/model"
+)
+
+// entry is one in-flight message instance with its send sequence number.
+type entry struct {
+	msg model.Message
+	seq uint64
+}
+
+// Tracker maintains, per destination process, the pending messages in send
+// order.
+type Tracker struct {
+	queues  map[model.PID][]entry
+	nextSeq uint64
+}
+
+// New returns an empty tracker for a system whose buffer is empty (an
+// initial configuration).
+func New() *Tracker {
+	return &Tracker{queues: make(map[model.PID][]entry)}
+}
+
+// NewFromConfig returns a tracker primed with the configuration's current
+// buffer contents. Their true send order is unknown, so they are enqueued
+// in the buffer's canonical order; this only matters when attaching a
+// tracker mid-run.
+func NewFromConfig(c *model.Config) *Tracker {
+	t := New()
+	for _, m := range c.Buffer().Messages() {
+		for i := 0; i < c.Buffer().Count(m); i++ {
+			t.Send(m)
+		}
+	}
+	return t
+}
+
+// Send records a newly sent message at the back of its destination's queue.
+func (t *Tracker) Send(m model.Message) {
+	t.queues[m.To] = append(t.queues[m.To], entry{msg: m, seq: t.nextSeq})
+	t.nextSeq++
+}
+
+// Oldest returns the earliest-sent pending message for p.
+func (t *Tracker) Oldest(p model.PID) (model.Message, bool) {
+	q := t.queues[p]
+	if len(q) == 0 {
+		return model.Message{}, false
+	}
+	return q[0].msg, true
+}
+
+// OldestSeq returns the sequence number of the earliest-sent pending
+// message for p, for lag measurements.
+func (t *Tracker) OldestSeq(p model.PID) (uint64, bool) {
+	q := t.queues[p]
+	if len(q) == 0 {
+		return 0, false
+	}
+	return q[0].seq, true
+}
+
+// PendingTo returns the number of messages pending for p.
+func (t *Tracker) PendingTo(p model.PID) int { return len(t.queues[p]) }
+
+// Pending returns the total number of pending messages.
+func (t *Tracker) Pending() int {
+	n := 0
+	for _, q := range t.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// PendingList returns the pending messages for p in send order.
+func (t *Tracker) PendingList(p model.PID) []model.Message {
+	q := t.queues[p]
+	out := make([]model.Message, len(q))
+	for i, e := range q {
+		out[i] = e.msg
+	}
+	return out
+}
+
+// Deliver removes the oldest pending instance equal to m from m.To's
+// queue. The oldest instance is the right one to account against: under
+// multiset semantics equal copies are interchangeable, and charging the
+// oldest keeps the "earliest first" admissibility discipline honest.
+func (t *Tracker) Deliver(m model.Message) error {
+	q := t.queues[m.To]
+	for i, e := range q {
+		if e.msg == m {
+			t.queues[m.To] = append(append([]entry(nil), q[:i]...), q[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("fifo: no pending instance of %s", m)
+}
+
+// Advance applies an event's effects: the delivered message (if any) is
+// removed and the step's sends are enqueued. Use with model.ApplyTraced.
+func (t *Tracker) Advance(e model.Event, sends []model.Message) error {
+	if e.Msg != nil {
+		if err := t.Deliver(*e.Msg); err != nil {
+			return err
+		}
+	}
+	for _, m := range sends {
+		t.Send(m)
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (t *Tracker) Clone() *Tracker {
+	c := &Tracker{queues: make(map[model.PID][]entry, len(t.queues)), nextSeq: t.nextSeq}
+	for p, q := range t.queues {
+		c.queues[p] = append([]entry(nil), q...)
+	}
+	return c
+}

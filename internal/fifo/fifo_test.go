@@ -1,0 +1,152 @@
+package fifo
+
+import (
+	"testing"
+
+	"github.com/flpsim/flp/internal/model"
+)
+
+func msg(to, from model.PID, body string) model.Message {
+	return model.Message{To: to, From: from, Body: body}
+}
+
+func TestSendOldestOrder(t *testing.T) {
+	tr := New()
+	a := msg(0, 1, "a")
+	b := msg(0, 2, "b")
+	c := msg(1, 2, "c")
+	tr.Send(a)
+	tr.Send(b)
+	tr.Send(c)
+	if got, ok := tr.Oldest(0); !ok || got != a {
+		t.Errorf("Oldest(0) = %v, %v; want %v", got, ok, a)
+	}
+	if got, ok := tr.Oldest(1); !ok || got != c {
+		t.Errorf("Oldest(1) = %v, %v; want %v", got, ok, c)
+	}
+	if _, ok := tr.Oldest(2); ok {
+		t.Error("Oldest(2) found a message in an empty queue")
+	}
+	if tr.Pending() != 3 || tr.PendingTo(0) != 2 {
+		t.Errorf("Pending=%d PendingTo(0)=%d, want 3, 2", tr.Pending(), tr.PendingTo(0))
+	}
+}
+
+func TestDeliverRemovesOldestInstance(t *testing.T) {
+	tr := New()
+	m := msg(0, 1, "dup")
+	tr.Send(m)
+	tr.Send(msg(0, 2, "mid"))
+	tr.Send(m) // second instance of the same message value
+	if err := tr.Deliver(m); err != nil {
+		t.Fatal(err)
+	}
+	// The first (oldest) instance is gone; "mid" is now oldest.
+	if got, _ := tr.Oldest(0); got.Body != "mid" {
+		t.Errorf("after Deliver, Oldest = %v, want the mid message", got)
+	}
+	if tr.PendingTo(0) != 2 {
+		t.Errorf("PendingTo = %d, want 2", tr.PendingTo(0))
+	}
+	if err := tr.Deliver(msg(0, 9, "ghost")); err == nil {
+		t.Error("delivering an absent message succeeded")
+	}
+}
+
+func TestSeqAndPendingList(t *testing.T) {
+	tr := New()
+	tr.Send(msg(1, 0, "x"))
+	tr.Send(msg(1, 0, "y"))
+	s, ok := tr.OldestSeq(1)
+	if !ok || s != 0 {
+		t.Errorf("OldestSeq = %d, %v; want 0, true", s, ok)
+	}
+	list := tr.PendingList(1)
+	if len(list) != 2 || list[0].Body != "x" || list[1].Body != "y" {
+		t.Errorf("PendingList = %v", list)
+	}
+	if _, ok := tr.OldestSeq(0); ok {
+		t.Error("OldestSeq on empty queue reported a message")
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	tr := New()
+	m := msg(0, 1, "in")
+	tr.Send(m)
+	e := model.Deliver(m)
+	out := []model.Message{msg(1, 0, "out1"), msg(2, 0, "out2")}
+	if err := tr.Advance(e, out); err != nil {
+		t.Fatal(err)
+	}
+	if tr.PendingTo(0) != 0 || tr.PendingTo(1) != 1 || tr.PendingTo(2) != 1 {
+		t.Errorf("queues after Advance: %d %d %d", tr.PendingTo(0), tr.PendingTo(1), tr.PendingTo(2))
+	}
+	// Null events only enqueue.
+	if err := tr.Advance(model.NullEvent(1), []model.Message{msg(0, 1, "z")}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.PendingTo(0) != 1 {
+		t.Errorf("null Advance did not enqueue send")
+	}
+	// Advancing with an absent delivery fails.
+	if err := tr.Advance(model.Deliver(msg(0, 5, "none")), nil); err == nil {
+		t.Error("Advance with absent delivery succeeded")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := New()
+	m := msg(0, 1, "a")
+	tr.Send(m)
+	cl := tr.Clone()
+	if err := cl.Deliver(m); err != nil {
+		t.Fatal(err)
+	}
+	if tr.PendingTo(0) != 1 {
+		t.Error("Deliver on clone affected original")
+	}
+	cl.Send(msg(1, 0, "b"))
+	if tr.PendingTo(1) != 0 {
+		t.Error("Send on clone affected original")
+	}
+}
+
+func TestNewFromConfigMirrorsBuffer(t *testing.T) {
+	// Build a configuration with buffered messages via a tiny protocol.
+	pr := senderProto{}
+	c := model.MustInitial(pr, model.Inputs{model.V0, model.V0})
+	c1 := model.MustApply(pr, c, model.NullEvent(0))
+	tr := NewFromConfig(c1)
+	if tr.Pending() != c1.Buffer().Len() {
+		t.Errorf("tracker has %d pending, buffer has %d", tr.Pending(), c1.Buffer().Len())
+	}
+	m, ok := tr.Oldest(1)
+	if !ok || !c1.Buffer().Contains(m) {
+		t.Errorf("tracker message %v not in buffer", m)
+	}
+}
+
+// senderProto broadcasts once; used to populate a buffer.
+type senderProto struct{}
+
+type senderState struct{ sent bool }
+
+func (s senderState) Key() string {
+	if s.sent {
+		return "1"
+	}
+	return "0"
+}
+func (s senderState) Output() model.Output { return model.None }
+
+func (senderProto) Name() string                            { return "sender" }
+func (senderProto) N() int                                  { return 2 }
+func (senderProto) Init(model.PID, model.Value) model.State { return senderState{} }
+func (senderProto) Step(p model.PID, s model.State, _ *model.Message) (model.State, []model.Message) {
+	st := s.(senderState)
+	if !st.sent {
+		return senderState{sent: true}, model.BroadcastOthers(p, 2, "hello")
+	}
+	return st, nil
+}

@@ -1,0 +1,241 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicEdges(t *testing.T) {
+	g := New(3)
+	if g.N() != 3 || g.EdgeCount() != 0 {
+		t.Fatalf("fresh graph: N=%d edges=%d", g.N(), g.EdgeCount())
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("edge presence wrong")
+	}
+	if g.EdgeCount() != 2 {
+		t.Errorf("EdgeCount = %d, want 2", g.EdgeCount())
+	}
+	if g.InDegree(2) != 1 || g.OutDegree(0) != 1 || g.InDegree(0) != 0 {
+		t.Error("degree counts wrong")
+	}
+	if ps := g.Predecessors(1); len(ps) != 1 || ps[0] != 0 {
+		t.Errorf("Predecessors(1) = %v", ps)
+	}
+	if ss := g.Successors(1); len(ss) != 1 || ss[0] != 2 {
+		t.Errorf("Successors(1) = %v", ss)
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	if g.EdgeCount() != 1 {
+		t.Errorf("duplicate AddEdge changed count: %d", g.EdgeCount())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range AddEdge did not panic")
+		}
+	}()
+	New(2).AddEdge(0, 5)
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.AddEdge(1, 2)
+	if g.Equal(c) {
+		t.Error("mutated clone still equal")
+	}
+	if g.HasEdge(1, 2) {
+		t.Error("clone mutation leaked into original")
+	}
+	if g.Equal(New(4)) {
+		t.Error("graphs of different sizes equal")
+	}
+}
+
+func TestTransitiveClosureChain(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	c := g.TransitiveClosure()
+	wantEdges := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	for _, e := range wantEdges {
+		if !c.HasEdge(e[0], e[1]) {
+			t.Errorf("closure missing %v", e)
+		}
+	}
+	if c.HasEdge(3, 0) || c.HasEdge(0, 0) {
+		t.Error("closure has spurious edges")
+	}
+}
+
+func TestTransitiveClosureCycle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	c := g.TransitiveClosure()
+	// Nodes on a cycle reach themselves.
+	if !c.HasEdge(0, 0) || !c.HasEdge(1, 1) {
+		t.Error("cycle nodes lack self-loops in closure")
+	}
+	if c.HasEdge(2, 2) {
+		t.Error("isolated node acquired a self-loop")
+	}
+}
+
+func TestClosureIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 2 + rr.Intn(7)
+		g := New(n)
+		for i := 0; i < n*n/2; i++ {
+			g.AddEdge(rr.Intn(n), rr.Intn(n))
+		}
+		c1 := g.TransitiveClosure()
+		c2 := c1.TransitiveClosure()
+		return c1.Equal(c2)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosureContainsOriginal(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 2 + rr.Intn(7)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			g.AddEdge(rr.Intn(n), rr.Intn(n))
+		}
+		c := g.TransitiveClosure()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if g.HasEdge(i, j) && !c.HasEdge(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 2)
+	anc := g.Ancestors(2)
+	if len(anc) != 3 || !anc[0] || !anc[1] || !anc[3] {
+		t.Errorf("Ancestors(2) = %v, want {0,1,3}", anc)
+	}
+	if len(g.Ancestors(0)) != 0 {
+		t.Errorf("Ancestors(0) = %v, want empty", g.Ancestors(0))
+	}
+	// Cycles: a node on a cycle is its own ancestor.
+	g.AddEdge(2, 0)
+	if !g.Ancestors(0)[0] {
+		t.Error("node on cycle is not its own ancestor")
+	}
+}
+
+func TestInitialCliqueSimple(t *testing.T) {
+	// Two mutually-connected roots feeding two downstream nodes.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	clique := g.TransitiveClosure().InitialClique()
+	if len(clique) != 2 || clique[0] != 0 || clique[1] != 1 {
+		t.Errorf("InitialClique = %v, want [0 1]", clique)
+	}
+}
+
+func TestInitialCliqueWholeGraph(t *testing.T) {
+	// A single cycle through everyone: the whole graph is the clique.
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	clique := g.TransitiveClosure().InitialClique()
+	if len(clique) != 3 {
+		t.Errorf("InitialClique = %v, want all nodes", clique)
+	}
+}
+
+func TestInitialCliqueExcludesDownstream(t *testing.T) {
+	// 0↔1 → 2 → 3, and 2→3 only: 2 and 3 have ancestors they cannot reach.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	clique := g.TransitiveClosure().InitialClique()
+	if len(clique) != 2 || clique[0] != 0 || clique[1] != 1 {
+		t.Errorf("InitialClique = %v, want [0 1]", clique)
+	}
+}
+
+// Property: in the closure of a graph where every node has indegree ≥ 1,
+// the initial clique is nonempty, mutually connected, and has no incoming
+// edges from outside.
+func TestInitialCliqueProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 3 + rr.Intn(6)
+		g := New(n)
+		// Ring ensures indegree ≥ 1 for every node, then random extras.
+		for i := 0; i < n; i++ {
+			g.AddEdge(i, (i+1)%n)
+		}
+		for i := 0; i < n; i++ {
+			g.AddEdge(rr.Intn(n), rr.Intn(n))
+		}
+		c := g.TransitiveClosure()
+		clique := c.InitialClique()
+		if len(clique) == 0 {
+			return false
+		}
+		inClique := map[int]bool{}
+		for _, k := range clique {
+			inClique[k] = true
+		}
+		for _, k := range clique {
+			for _, j := range clique {
+				if j != k && !c.HasEdge(j, k) {
+					return false // not mutually connected
+				}
+			}
+			for u := 0; u < n; u++ {
+				if !inClique[u] && c.HasEdge(u, k) {
+					return false // incoming edge from outside
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package model
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/flpsim/flp/internal/multiset"
+)
+
+// Buffer is the message buffer: the multiset of messages that have been
+// sent but not yet delivered. It is the untimed, model-level view; the
+// runtime and the Theorem 1 adversary impose ordering disciplines above it.
+type Buffer struct {
+	ms    *multiset.Multiset
+	byKey map[string]Message
+}
+
+// NewBuffer returns an empty buffer.
+func NewBuffer() *Buffer {
+	return &Buffer{ms: multiset.New(), byKey: make(map[string]Message)}
+}
+
+// Send places one copy of m in the buffer.
+func (b *Buffer) Send(m Message) {
+	k := m.Key()
+	b.ms.Add(k)
+	b.byKey[k] = m
+}
+
+// Remove deletes one occurrence of m, reporting whether one was present.
+func (b *Buffer) Remove(m Message) bool {
+	k := m.Key()
+	if !b.ms.Remove(k) {
+		return false
+	}
+	if b.ms.Count(k) == 0 {
+		delete(b.byKey, k)
+	}
+	return true
+}
+
+// Contains reports whether at least one copy of m is in the buffer.
+func (b *Buffer) Contains(m Message) bool { return b.ms.Contains(m.Key()) }
+
+// Count returns the multiplicity of m.
+func (b *Buffer) Count(m Message) int { return b.ms.Count(m.Key()) }
+
+// Len returns the total number of undelivered messages.
+func (b *Buffer) Len() int { return b.ms.Len() }
+
+// Messages returns the distinct messages in the buffer in canonical order.
+// Multiplicities are available via Count.
+func (b *Buffer) Messages() []Message {
+	keys := b.ms.Elements()
+	msgs := make([]Message, len(keys))
+	for i, k := range keys {
+		msgs[i] = b.byKey[k]
+	}
+	return msgs
+}
+
+// MessagesTo returns the distinct messages addressed to p, in canonical
+// order. Delivering any one of them (or nothing) is an applicable event for
+// p; duplicates of the same message are interchangeable in the multiset
+// semantics, so distinct messages suffice for event enumeration.
+func (b *Buffer) MessagesTo(p PID) []Message {
+	var msgs []Message
+	for _, m := range b.Messages() {
+		if m.To == p {
+			msgs = append(msgs, m)
+		}
+	}
+	return msgs
+}
+
+// Clone returns a deep copy.
+func (b *Buffer) Clone() *Buffer {
+	c := &Buffer{ms: b.ms.Clone(), byKey: make(map[string]Message, len(b.byKey))}
+	for k, m := range b.byKey {
+		c.byKey[k] = m
+	}
+	return c
+}
+
+// Equal reports whether two buffers hold exactly the same multiset.
+func (b *Buffer) Equal(o *Buffer) bool { return b.ms.Equal(o.ms) }
+
+// Key returns the canonical encoding of the buffer contents.
+func (b *Buffer) Key() string { return b.ms.Key() }
+
+// String renders the buffer for traces and debugging.
+func (b *Buffer) String() string {
+	if b.Len() == 0 {
+		return "∅"
+	}
+	msgs := b.Messages()
+	parts := make([]string, 0, len(msgs))
+	for _, m := range msgs {
+		s := m.String()
+		if c := b.Count(m); c > 1 {
+			s += "×" + strconv.Itoa(c)
+		}
+		parts = append(parts, s)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,164 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/flpsim/flp/internal/enc"
+)
+
+// Config is a configuration of the system: the internal state of each
+// process together with the contents of the message buffer. Configurations
+// are immutable once constructed; Apply produces new configurations.
+type Config struct {
+	states []State
+	buf    *Buffer
+	key    string // lazily computed canonical key
+}
+
+// Initial returns the initial configuration of pr for the given input
+// assignment: every process in its initial state and an empty buffer.
+func Initial(pr Protocol, in Inputs) (*Config, error) {
+	n := pr.N()
+	if n < 2 {
+		return nil, fmt.Errorf("model: protocol %q has N=%d, need N ≥ 2", pr.Name(), n)
+	}
+	if len(in) != n {
+		return nil, fmt.Errorf("model: %d inputs for %d processes", len(in), n)
+	}
+	states := make([]State, n)
+	for p := 0; p < n; p++ {
+		if !in[p].Valid() {
+			return nil, fmt.Errorf("model: invalid input %d for process %d", in[p], p)
+		}
+		s := pr.Init(PID(p), in[p])
+		if s == nil {
+			return nil, fmt.Errorf("model: protocol %q Init(%d) returned nil state", pr.Name(), p)
+		}
+		if s.Output() != None {
+			return nil, fmt.Errorf("model: protocol %q starts process %d already decided; the output register must start at b", pr.Name(), p)
+		}
+		states[p] = s
+	}
+	return &Config{states: states, buf: NewBuffer()}, nil
+}
+
+// MustInitial is Initial but panics on error, for tests and examples with
+// known-good arguments.
+func MustInitial(pr Protocol, in Inputs) *Config {
+	c, err := Initial(pr, in)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// N returns the number of processes.
+func (c *Config) N() int { return len(c.states) }
+
+// State returns the internal state of process p.
+func (c *Config) State(p PID) State { return c.states[p] }
+
+// Buffer returns the message buffer. Callers must not mutate it; use Apply
+// to take steps.
+func (c *Config) Buffer() *Buffer { return c.buf }
+
+// Output returns the output register content of process p.
+func (c *Config) Output(p PID) Output { return c.states[p].Output() }
+
+// DecisionValues returns the set of decision values present in c: the
+// values v such that some process is in a decision state with y_p = v.
+// A partially correct protocol never reaches a configuration where this has
+// more than one element (condition 1 of partial correctness).
+func (c *Config) DecisionValues() []Value {
+	var seen0, seen1 bool
+	for _, s := range c.states {
+		switch s.Output() {
+		case Decided0:
+			seen0 = true
+		case Decided1:
+			seen1 = true
+		}
+	}
+	var vs []Value
+	if seen0 {
+		vs = append(vs, V0)
+	}
+	if seen1 {
+		vs = append(vs, V1)
+	}
+	return vs
+}
+
+// Decided reports whether any process has decided, and if exactly the one
+// value v is present returns it. If both values are present (an agreement
+// violation) it returns ok=false with decided=true.
+func (c *Config) Decided() (decided bool, v Value, ok bool) {
+	vs := c.DecisionValues()
+	switch len(vs) {
+	case 0:
+		return false, 0, false
+	case 1:
+		return true, vs[0], true
+	default:
+		return true, 0, false
+	}
+}
+
+// DecidedCount returns how many processes have decided.
+func (c *Config) DecidedCount() int {
+	n := 0
+	for _, s := range c.states {
+		if s.Output().Decided() {
+			n++
+		}
+	}
+	return n
+}
+
+// Key returns the canonical encoding of the configuration. Two
+// configurations represent the same system state iff their keys are equal.
+func (c *Config) Key() string {
+	if c.key == "" {
+		var b enc.Builder
+		for _, s := range c.states {
+			b.Str(enc.Escape(s.Key()))
+		}
+		b.Str(enc.Escape(c.buf.Key()))
+		c.key = b.String()
+	}
+	return c.key
+}
+
+// Equal reports whether two configurations are the same system state.
+func (c *Config) Equal(o *Config) bool { return c.Key() == o.Key() }
+
+// String renders the configuration compactly for traces.
+func (c *Config) String() string {
+	var sb strings.Builder
+	sb.WriteString("[")
+	for p, s := range c.states {
+		if p > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "p%d:y=%s", p, s.Output())
+	}
+	fmt.Fprintf(&sb, " | buf:%d msg]", c.buf.Len())
+	return sb.String()
+}
+
+// withStep returns the configuration that results from replacing process
+// p's state and updating the buffer. Internal constructor used by Apply.
+func (c *Config) withStep(p PID, ns State, remove *Message, sends []Message) *Config {
+	states := make([]State, len(c.states))
+	copy(states, c.states)
+	states[p] = ns
+	buf := c.buf.Clone()
+	if remove != nil {
+		buf.Remove(*remove)
+	}
+	for _, m := range sends {
+		buf.Send(m)
+	}
+	return &Config{states: states, buf: buf}
+}

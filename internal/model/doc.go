@@ -1,0 +1,24 @@
+// Package model implements the system model of Section 2 of Fischer, Lynch,
+// and Paterson, "Impossibility of Distributed Consensus with One Faulty
+// Process" (JACM 32(2), 1985), exactly and executably:
+//
+//   - A consensus protocol P is an asynchronous system of N ≥ 2 processes.
+//   - Each process p has a one-bit input register x_p, a write-once output
+//     register y_p ∈ {b, 0, 1}, and unbounded internal storage; together
+//     these form its internal state ([Protocol] + [State]).
+//   - Processes are deterministic automata: a transition function maps
+//     (state, delivered message or ∅) to (new state, finite set of sent
+//     messages) ([Protocol.Step]).
+//   - The message system is a multiset buffer supporting send(p, m) and a
+//     nondeterministic receive(p) that may return ∅ ([Buffer]).
+//   - A configuration is the internal state of every process plus the
+//     buffer contents ([Config]); a step is an event e = (p, m) applied to
+//     a configuration ([Event], [Apply]); a schedule is a sequence of
+//     events ([Schedule]).
+//
+// The model layer is deliberately untimed: configurations compare equal
+// when their states and buffer multisets are equal, which is what makes
+// valency analysis in package explore sound and memoizable. Send-time
+// ordering (needed only for the admissibility discipline of Theorem 1) is
+// layered on top by package adversary and package runtime.
+package model

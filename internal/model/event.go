@@ -1,0 +1,94 @@
+package model
+
+import "fmt"
+
+// Event is an event e = (p, m): the receipt of message m by process p.
+// A nil Msg is the null delivery ∅ — receive(p) returned nothing, which is
+// always applicable ("it is always possible for a process to take another
+// step").
+type Event struct {
+	P   PID
+	Msg *Message
+}
+
+// NullEvent returns the event (p, ∅).
+func NullEvent(p PID) Event { return Event{P: p} }
+
+// Deliver returns the event (m.To, m).
+func Deliver(m Message) Event {
+	cp := m
+	return Event{P: m.To, Msg: &cp}
+}
+
+// IsNull reports whether the event is a null delivery.
+func (e Event) IsNull() bool { return e.Msg == nil }
+
+// Key returns a canonical encoding of the event.
+func (e Event) Key() string {
+	if e.Msg == nil {
+		return fmt.Sprintf("p%d:∅", e.P)
+	}
+	return fmt.Sprintf("p%d:%s", e.P, e.Msg.Key())
+}
+
+// Same reports whether two events are the same: same process and same
+// message (or both null). This is the identity the Lemma 3 frontier is
+// built around ("reachable from C without applying e").
+func (e Event) Same(o Event) bool {
+	if e.P != o.P {
+		return false
+	}
+	if (e.Msg == nil) != (o.Msg == nil) {
+		return false
+	}
+	if e.Msg == nil {
+		return true
+	}
+	return *e.Msg == *o.Msg
+}
+
+func (e Event) String() string {
+	if e.Msg == nil {
+		return fmt.Sprintf("(p%d, ∅)", e.P)
+	}
+	return fmt.Sprintf("(p%d, %s from p%d)", e.P, e.Msg.Body, e.Msg.From)
+}
+
+// Applicable reports whether e can be applied to c: the process must exist
+// and, for a message delivery, a copy of the message must be in the buffer.
+// Null events are always applicable.
+func Applicable(c *Config, e Event) bool {
+	if int(e.P) < 0 || int(e.P) >= c.N() {
+		return false
+	}
+	if e.Msg == nil {
+		return true
+	}
+	return e.Msg.To == e.P && c.Buffer().Contains(*e.Msg)
+}
+
+// Events enumerates the applicable events of c, one per process-and-
+// distinct-message pair plus the null event for every process. Duplicate
+// copies of a message are interchangeable under multiset semantics, so one
+// event per distinct message is exhaustive.
+func Events(c *Config) []Event {
+	var evs []Event
+	for p := 0; p < c.N(); p++ {
+		evs = append(evs, NullEvent(PID(p)))
+		for _, m := range c.Buffer().MessagesTo(PID(p)) {
+			evs = append(evs, Deliver(m))
+		}
+	}
+	return evs
+}
+
+// DeliveryEvents enumerates only the message-delivery events of c.
+func DeliveryEvents(c *Config) []Event {
+	var evs []Event
+	for p := 0; p < c.N(); p++ {
+		for _, m := range c.Buffer().MessagesTo(PID(p)) {
+			evs = append(evs, Deliver(m))
+		}
+	}
+	return evs
+}

@@ -1,0 +1,81 @@
+package model
+
+import "fmt"
+
+// PID identifies a process. Processes in a protocol of N processes are
+// numbered 0 through N-1.
+type PID int
+
+// Value is a binary consensus value. The paper's consensus problem is over
+// {0, 1}; multivalued consensus reduces to the binary case.
+type Value uint8
+
+// The two consensus values.
+const (
+	V0 Value = 0
+	V1 Value = 1
+)
+
+// Valid reports whether v is one of the two consensus values.
+func (v Value) Valid() bool { return v == V0 || v == V1 }
+
+// Other returns the opposite consensus value.
+func (v Value) Other() Value {
+	if v == V0 {
+		return V1
+	}
+	return V0
+}
+
+func (v Value) String() string { return fmt.Sprintf("%d", uint8(v)) }
+
+// Output is the content of a process's output register y_p, which ranges
+// over {b, 0, 1}. The register starts at b (None) and is write-once: once a
+// process enters a decision state (Output ≠ None) its output register may
+// never change again. Apply enforces this.
+type Output uint8
+
+// Output register contents.
+const (
+	// None is the blank symbol b: the process has not decided.
+	None Output = iota
+	// Decided0 means y_p = 0.
+	Decided0
+	// Decided1 means y_p = 1.
+	Decided1
+)
+
+// Decided reports whether the register holds a decision value.
+func (o Output) Decided() bool { return o == Decided0 || o == Decided1 }
+
+// Value returns the decision value held in the register. It panics if the
+// process has not decided; check Decided first.
+func (o Output) Value() Value {
+	switch o {
+	case Decided0:
+		return V0
+	case Decided1:
+		return V1
+	}
+	panic("model: Output.Value on undecided register")
+}
+
+// OutputOf converts a consensus value to the corresponding register content.
+func OutputOf(v Value) Output {
+	if v == V0 {
+		return Decided0
+	}
+	return Decided1
+}
+
+func (o Output) String() string {
+	switch o {
+	case None:
+		return "b"
+	case Decided0:
+		return "0"
+	case Decided1:
+		return "1"
+	}
+	return fmt.Sprintf("Output(%d)", uint8(o))
+}

@@ -1,0 +1,67 @@
+// Package modeltest provides reusable conformance checks that any
+// model.Protocol implementation must pass: determinism, non-mutation of
+// input states, and applicability of every step the harness takes. Every
+// protocol package runs these against its own implementation.
+package modeltest
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/flpsim/flp/internal/model"
+)
+
+// EffectfulEvents enumerates the applicable events of cfg that change the
+// system state (no-op null events are dropped).
+func EffectfulEvents(pr model.Protocol, cfg *model.Config) []model.Event {
+	var out []model.Event
+	for _, e := range model.Events(cfg) {
+		if e.IsNull() && model.IsNoOp(pr, cfg, e) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// CheckConformance drives pr through a random applicable walk and verifies
+// the model contract at every step: determinism (equal state and event
+// yield an equal successor and identical sends), non-mutation (the source
+// state's key is unchanged by Step), and harness acceptance (Apply
+// succeeds, which also enforces the write-once output register).
+func CheckConformance(t *testing.T, pr model.Protocol, inputs model.Inputs, steps int, seed int64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	cfg := model.MustInitial(pr, inputs)
+	for i := 0; i < steps; i++ {
+		evs := EffectfulEvents(pr, cfg)
+		if len(evs) == 0 {
+			return // quiescent
+		}
+		e := evs[r.Intn(len(evs))]
+
+		before := cfg.State(e.P).Key()
+		s1, m1 := pr.Step(e.P, cfg.State(e.P), e.Msg)
+		s2, m2 := pr.Step(e.P, cfg.State(e.P), e.Msg)
+		if cfg.State(e.P).Key() != before {
+			t.Fatalf("%s: Step mutated its input state (step %d, event %s)", pr.Name(), i, e)
+		}
+		if s1.Key() != s2.Key() {
+			t.Fatalf("%s: Step is nondeterministic in state (step %d, event %s)", pr.Name(), i, e)
+		}
+		if len(m1) != len(m2) {
+			t.Fatalf("%s: Step is nondeterministic in sends (step %d, event %s)", pr.Name(), i, e)
+		}
+		for j := range m1 {
+			if m1[j] != m2[j] {
+				t.Fatalf("%s: Step is nondeterministic in send %d (step %d)", pr.Name(), j, i)
+			}
+		}
+
+		nc, err := model.Apply(pr, cfg, e)
+		if err != nil {
+			t.Fatalf("%s: Apply failed at step %d: %v", pr.Name(), i, err)
+		}
+		cfg = nc
+	}
+}

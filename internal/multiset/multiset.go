@@ -1,0 +1,133 @@
+// Package multiset implements the message buffer of the FLP system model:
+// a multiset of messages keyed by their canonical encoding.
+//
+// The paper's message system "maintains a multiset, called the message
+// buffer, of messages that have been sent but not yet delivered" (Section
+// 2). Delivery order is entirely nondeterministic at this layer; fairness
+// and FIFO disciplines are imposed above it by the runtime and by the
+// Theorem 1 adversary.
+package multiset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Multiset is a multiset of strings. The zero value is empty and ready to
+// use after a call to New; use New to allocate.
+type Multiset struct {
+	counts map[string]int
+	size   int
+}
+
+// New returns an empty multiset.
+func New() *Multiset {
+	return &Multiset{counts: make(map[string]int)}
+}
+
+// Add inserts one occurrence of s.
+func (m *Multiset) Add(s string) {
+	m.counts[s]++
+	m.size++
+}
+
+// AddN inserts n occurrences of s. n must be non-negative.
+func (m *Multiset) AddN(s string, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("multiset: AddN with negative count %d", n))
+	}
+	if n == 0 {
+		return
+	}
+	m.counts[s] += n
+	m.size += n
+}
+
+// Remove deletes one occurrence of s. It reports whether an occurrence was
+// present to delete.
+func (m *Multiset) Remove(s string) bool {
+	c := m.counts[s]
+	if c == 0 {
+		return false
+	}
+	if c == 1 {
+		delete(m.counts, s)
+	} else {
+		m.counts[s] = c - 1
+	}
+	m.size--
+	return true
+}
+
+// Count returns the number of occurrences of s.
+func (m *Multiset) Count(s string) int { return m.counts[s] }
+
+// Contains reports whether s occurs at least once.
+func (m *Multiset) Contains(s string) bool { return m.counts[s] > 0 }
+
+// Len returns the total number of occurrences across all elements.
+func (m *Multiset) Len() int { return m.size }
+
+// Distinct returns the number of distinct elements.
+func (m *Multiset) Distinct() int { return len(m.counts) }
+
+// Elements returns the distinct elements in sorted order.
+func (m *Multiset) Elements() []string {
+	es := make([]string, 0, len(m.counts))
+	for s := range m.counts {
+		es = append(es, s)
+	}
+	sort.Strings(es)
+	return es
+}
+
+// Each calls fn for every distinct element with its count, in unspecified
+// order. fn must not mutate the multiset.
+func (m *Multiset) Each(fn func(s string, count int)) {
+	for s, c := range m.counts {
+		fn(s, c)
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Multiset) Clone() *Multiset {
+	c := &Multiset{counts: make(map[string]int, len(m.counts)), size: m.size}
+	for s, n := range m.counts {
+		c.counts[s] = n
+	}
+	return c
+}
+
+// Equal reports whether m and o contain exactly the same occurrences.
+func (m *Multiset) Equal(o *Multiset) bool {
+	if m.size != o.size || len(m.counts) != len(o.counts) {
+		return false
+	}
+	for s, n := range m.counts {
+		if o.counts[s] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical encoding of the multiset: elements in sorted
+// order, each with its multiplicity. Two multisets are Equal iff their Keys
+// are identical.
+func (m *Multiset) Key() string {
+	es := m.Elements()
+	var sb strings.Builder
+	for _, s := range es {
+		fmt.Fprintf(&sb, "%dx%s;", m.counts[s], s)
+	}
+	return sb.String()
+}
+
+// String implements fmt.Stringer for debugging output.
+func (m *Multiset) String() string {
+	if m.size == 0 {
+		return "{}"
+	}
+	return "{" + m.Key() + "}"
+}

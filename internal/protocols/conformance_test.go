@@ -1,0 +1,53 @@
+package protocols_test
+
+import (
+	"testing"
+
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/modeltest"
+	"github.com/flpsim/flp/internal/protocols"
+)
+
+func TestConformanceAllProtocols(t *testing.T) {
+	cases := []struct {
+		pr     model.Protocol
+		inputs model.Inputs
+	}{
+		{protocols.NewTrivial0(3), model.Inputs{0, 1, 1}},
+		{protocols.NewWaitAll(3), model.Inputs{0, 1, 1}},
+		{protocols.NewWaitAll(4), model.Inputs{1, 0, 1, 0}},
+		{protocols.NewNaiveMajority(3), model.Inputs{0, 1, 1}},
+		{protocols.NewNaiveMajority(5), model.Inputs{0, 1, 1, 0, 1}},
+		{protocols.NewTwoPhaseCommit(3), model.Inputs{1, 1, 1}},
+		{protocols.NewTwoPhaseCommit(4), model.Inputs{1, 0, 1, 1}},
+		{protocols.NewPaxosSynod(3), model.Inputs{0, 1, 1}},
+		{protocols.NewPaxosSynod(5), model.Inputs{0, 0, 1, 1, 1}},
+		{protocols.NewBoundedPaxosSynod(3, 7), model.Inputs{0, 1, 0}},
+		{protocols.NewBenOrDeterministic(3, 42), model.Inputs{0, 1, 1}},
+		{protocols.NewBenOrDeterministic(5, 9), model.Inputs{0, 1, 1, 0, 0}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.pr.Name(), func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				modeltest.CheckConformance(t, tc.pr, tc.inputs, 120, seed)
+			}
+		})
+	}
+}
+
+func TestStateKeysDistinguishStates(t *testing.T) {
+	// Distinct protocol states must have distinct keys: walk two different
+	// schedules and confirm the configurations differ when they should.
+	pr := protocols.NewPaxosSynod(3)
+	c := model.MustInitial(pr, model.Inputs{0, 1, 1})
+	a := model.MustApply(pr, c, model.NullEvent(0))
+	b := model.MustApply(pr, c, model.NullEvent(1))
+	if a.Equal(b) {
+		t.Error("configurations after different first steps compare equal")
+	}
+	a2 := model.MustApply(pr, c, model.NullEvent(0))
+	if !a.Equal(a2) {
+		t.Error("identical steps give unequal configurations")
+	}
+}

@@ -1,0 +1,29 @@
+// Package protocols implements concrete consensus protocol attempts over
+// the FLP system model. They are the specimens the checkers, the Theorem 1
+// adversary, and the benchmarks operate on, chosen to cover the corners of
+// the paper's definitions:
+//
+//   - [Trivial0] always decides 0 — it violates nontriviality (partial-
+//     correctness condition 2), the case the paper explicitly rules out.
+//   - [WaitAll] decides the majority of all N inputs — safe and nontrivial
+//     but not fault tolerant: it is not "totally correct in spite of one
+//     fault" because a single crash blocks it, and consistently with
+//     Lemma 2's hypotheses all its initial configurations are univalent.
+//   - [NaiveMajority] decides after hearing N-1 votes — fault tolerant in
+//     the naive sense but it violates agreement (condition 1); the checker
+//     produces a two-decision witness.
+//   - [TwoPhaseCommit] is the introduction's transaction-commit problem:
+//     safe, nontrivial, and possessing the "window of vulnerability" the
+//     paper says every commit protocol must have.
+//   - [PaxosSynod] is a deterministic single-decree Paxos synod: safe
+//     under full asynchrony, live under benign scheduling, and the
+//     canonical real-world system that responds to FLP by giving up
+//     guaranteed termination — the Theorem 1 adversary livelocks it.
+//   - [BenOrDeterministic] is Ben-Or's protocol with its coin flips drawn
+//     from a fixed pseudo-random tape, making it a deterministic automaton
+//     in the paper's model while preserving the round structure.
+//
+// All protocols here are deterministic automata satisfying the model
+// contract: immutable states with canonical keys and write-once output
+// registers.
+package protocols

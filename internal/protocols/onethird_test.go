@@ -1,0 +1,110 @@
+package protocols_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/flpsim/flp/internal/adversary"
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/modeltest"
+	"github.com/flpsim/flp/internal/protocols"
+	"github.com/flpsim/flp/internal/runtime"
+)
+
+func TestOneThirdConformance(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		modeltest.CheckConformance(t, protocols.NewOneThirdRule(4), model.Inputs{0, 1, 1, 0}, 120, seed)
+		modeltest.CheckConformance(t, protocols.NewOneThirdRule(7), model.Inputs{0, 1, 1, 0, 1, 0, 1}, 120, seed)
+	}
+}
+
+func TestOneThirdUnanimousValidity(t *testing.T) {
+	for _, v := range []model.Value{model.V0, model.V1} {
+		pr := protocols.NewOneThirdRule(4)
+		res := mustRun(t, pr, model.UniformInputs(4, v), rr(), runtime.RunOptions{MaxSteps: 20000})
+		if got, ok := res.DecidedValue(); !ok || got != v {
+			t.Errorf("unanimous %v: decided %v (ok=%v)", v, got, ok)
+		}
+	}
+}
+
+func TestOneThirdAgreementUnderRandomSchedules(t *testing.T) {
+	pr := protocols.NewOneThirdRule(4)
+	agg, err := runtime.RunMany(pr, model.Inputs{0, 1, 1, 0},
+		func() runtime.Scheduler { return runtime.RandomFair{} },
+		runtime.RunOptions{MaxSteps: 100000}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Violations != 0 {
+		t.Fatalf("%d agreement violations", agg.Violations)
+	}
+	if agg.Decided != agg.Runs {
+		t.Errorf("only %d/%d runs decided", agg.Decided, agg.Runs)
+	}
+}
+
+func TestOneThirdToleratesOneCrashOfSeven(t *testing.T) {
+	// Threshold 2·7/3+1 = 5 of 7: up to 2 crashes leave a quorum.
+	pr := protocols.NewOneThirdRule(7)
+	agg, err := runtime.RunMany(pr, model.Inputs{0, 1, 1, 0, 1, 1, 0},
+		func() runtime.Scheduler { return runtime.RandomFair{} },
+		runtime.RunOptions{MaxSteps: 200000, CrashAfter: map[model.PID]int{0: 0, 6: 2}}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Violations != 0 || agg.Decided != agg.Runs {
+		t.Errorf("decided=%d/%d violations=%d", agg.Decided, agg.Runs, agg.Violations)
+	}
+}
+
+func TestOneThirdBivalentAndStallable(t *testing.T) {
+	// Mixed inputs are certifiably bivalent, and the Theorem 1 adversary
+	// can keep the quorum samples mixed forever: the third livelock
+	// specimen, with neither a leader to duel nor a coin to fight.
+	pr := protocols.NewOneThirdRule(4)
+	in := model.Inputs{0, 0, 1, 1}
+	c := model.MustInitial(pr, in)
+	_, _, f0, f1 := explore.ProbeValencies(pr, c, explore.ProbeOptions{})
+	if !f0 || !f1 {
+		t.Fatalf("mixed-input OTR not certified bivalent (found0=%v found1=%v)", f0, f1)
+	}
+
+	probe := explore.ProbeOptions{}
+	adv := adversary.New(pr, adversary.Options{
+		Stages:  5,
+		Probe:   &probe,
+		Search:  explore.Options{MaxConfigs: 2000},
+		Valency: explore.Options{MaxConfigs: 1200},
+	})
+	res, err := adv.RunFromInputs(in)
+	if err != nil {
+		var serr *adversary.StageError
+		if errors.As(err, &serr) {
+			t.Fatalf("adversary gave up at stage %d: %v", serr.Stage, err)
+		}
+		t.Fatal(err)
+	}
+	rep, err := adversary.Verify(pr, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DecidedCount != 0 || rep.Stages != 5 {
+		t.Errorf("decided=%d stages=%d, want 0 and 5", rep.DecidedCount, rep.Stages)
+	}
+}
+
+func TestOneThirdRegistryEntry(t *testing.T) {
+	f, ok := protocols.Lookup("onethird")
+	if !ok {
+		t.Fatal("onethird not registered")
+	}
+	if _, err := f(3); err == nil {
+		t.Error("onethird factory accepted n=3 (no fault tolerance)")
+	}
+	pr, err := f(4)
+	if err != nil || pr.N() != 4 {
+		t.Errorf("factory: %v, N=%d", err, pr.N())
+	}
+}

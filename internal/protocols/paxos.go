@@ -1,0 +1,283 @@
+package protocols
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/flpsim/flp/internal/enc"
+	"github.com/flpsim/flp/internal/model"
+)
+
+// PaxosSynod is a deterministic single-decree Paxos synod in which every
+// process plays proposer, acceptor, and learner. It is the canonical
+// real-world answer to FLP: agreement is preserved under full asynchrony
+// and any minority of crashes, while termination is merely probable — the
+// Theorem 1 adversary drives dueling proposers into an unbounded ballot
+// chase (experiment E4), and mixed-input initial configurations are
+// certifiably bivalent (the race between proposers decides the outcome).
+//
+// Determinism: a proposer whose ballot is rejected restarts with the
+// smallest ballot it owns above the rejector's promise, so the automaton is
+// a pure function of (state, delivered message), as the model requires.
+//
+// Ballot b is owned by process b mod N; proposer p uses ballots p, p+N,
+// p+2N, ... A non-zero MaxBallot caps retries, making the protocol finite
+// state (exactly explorable) at the cost of proposers eventually giving up;
+// safety is unaffected.
+type PaxosSynod struct {
+	// Procs is the number of processes N ≥ 3 (a two-process synod cannot
+	// tolerate a fault anyway).
+	Procs int
+	// MaxBallot, when positive, is the largest ballot number a proposer
+	// will start; beyond it the proposer stops proposing (but keeps
+	// serving as acceptor and learner).
+	MaxBallot int
+}
+
+// Quorum returns the majority quorum size.
+func (px *PaxosSynod) Quorum() int { return px.Procs/2 + 1 }
+
+// Message bodies. Fields are '|'-separated; ballots and values are decimal.
+//
+//	prep|b        Prepare(b), proposer → all
+//	prom|b|vb|vv  Promise(b) carrying last accepted (vb, vv); vb = -1 if none
+//	nack|b|hb     Reject of Prepare/Accept at ballot b; hb = highest promise
+//	acc|b|v       Accept(b, v), proposer → all
+//	accd|b|v      Accepted(b, v), acceptor → all (learner traffic)
+const (
+	pxPrepare  = "prep"
+	pxPromise  = "prom"
+	pxNack     = "nack"
+	pxAccept   = "acc"
+	pxAccepted = "accd"
+)
+
+type promise struct {
+	from model.PID
+	vbal int // last accepted ballot, -1 if none
+	vval model.Value
+}
+
+type paxosState struct {
+	me    model.PID
+	input model.Value
+	out   model.Output
+
+	// Acceptor.
+	promised int // highest ballot promised, -1 initially
+	accBal   int // highest ballot accepted, -1 initially
+	accVal   model.Value
+
+	// Proposer.
+	curBal    int  // current ballot, -1 before the first step
+	proposing bool // true in phase 1 (collecting promises) or phase 2
+	inPhase2  bool
+	promises  []promise // for curBal, sorted by from
+	gaveUp    bool      // MaxBallot exceeded
+
+	// Learner: acceptors seen accepting (learnBal, learnVal).
+	learnBal int
+	learnVal model.Value
+	learnSet map[int]bool
+}
+
+func (s *paxosState) Key() string {
+	var b enc.Builder
+	b.Int(int(s.me)).Uint8(uint8(s.input)).Uint8(uint8(s.out))
+	b.Int(s.promised).Int(s.accBal).Uint8(uint8(s.accVal))
+	b.Int(s.curBal).Bool(s.proposing).Bool(s.inPhase2).Bool(s.gaveUp)
+	for _, pr := range s.promises {
+		b.Int(int(pr.from)).Int(pr.vbal).Uint8(uint8(pr.vval))
+	}
+	b.Int(s.learnBal).Uint8(uint8(s.learnVal)).IntSet(s.learnSet)
+	return b.String()
+}
+
+func (s *paxosState) Output() model.Output { return s.out }
+
+func (s *paxosState) clone() *paxosState {
+	ns := *s
+	ns.promises = append([]promise(nil), s.promises...)
+	ns.learnSet = make(map[int]bool, len(s.learnSet))
+	for k, v := range s.learnSet {
+		ns.learnSet[k] = v
+	}
+	return &ns
+}
+
+// NewPaxosSynod returns an unbounded-ballot synod for n processes.
+func NewPaxosSynod(n int) *PaxosSynod { return &PaxosSynod{Procs: n} }
+
+// NewBoundedPaxosSynod returns a synod whose proposers stop above
+// maxBallot, yielding a finite state space for exact exploration.
+func NewBoundedPaxosSynod(n, maxBallot int) *PaxosSynod {
+	return &PaxosSynod{Procs: n, MaxBallot: maxBallot}
+}
+
+// Name implements model.Protocol.
+func (px *PaxosSynod) Name() string {
+	if px.MaxBallot > 0 {
+		return fmt.Sprintf("paxos(n=%d,maxballot=%d)", px.Procs, px.MaxBallot)
+	}
+	return fmt.Sprintf("paxos(n=%d)", px.Procs)
+}
+
+// N implements model.Protocol.
+func (px *PaxosSynod) N() int { return px.Procs }
+
+// Init implements model.Protocol.
+func (px *PaxosSynod) Init(p model.PID, input model.Value) model.State {
+	return &paxosState{
+		me: p, input: input,
+		promised: -1, accBal: -1, curBal: -1, learnBal: -1,
+		learnSet: map[int]bool{},
+	}
+}
+
+func (px *PaxosSynod) owner(ballot int) model.PID { return model.PID(ballot % px.Procs) }
+
+// nextBallot returns the smallest ballot owned by p strictly greater than
+// above.
+func (px *PaxosSynod) nextBallot(p model.PID, above int) int {
+	b := int(p)
+	if above >= b {
+		k := (above-int(p))/px.Procs + 1
+		b = k*px.Procs + int(p)
+	}
+	return b
+}
+
+// Step implements model.Protocol.
+func (px *PaxosSynod) Step(p model.PID, s model.State, m *model.Message) (model.State, []model.Message) {
+	st := s.(*paxosState).clone()
+	var sends []model.Message
+
+	// First step: open ballot p (round 0).
+	if st.curBal < 0 {
+		st.curBal = int(p)
+		if px.MaxBallot > 0 && st.curBal > px.MaxBallot {
+			st.gaveUp = true
+		} else {
+			st.proposing = true
+			sends = append(sends, model.Broadcast(p, px.Procs, pxPrepare+"|"+strconv.Itoa(st.curBal))...)
+		}
+	}
+
+	if m != nil {
+		sends = append(sends, px.handle(p, st, m)...)
+	}
+	return st, sends
+}
+
+func (px *PaxosSynod) handle(p model.PID, st *paxosState, m *model.Message) []model.Message {
+	fields := strings.Split(m.Body, "|")
+	var sends []model.Message
+	switch fields[0] {
+	case pxPrepare:
+		b := atoi(fields[1])
+		if b > st.promised {
+			st.promised = b
+			body := fmt.Sprintf("%s|%d|%d|%d", pxPromise, b, st.accBal, st.accVal)
+			sends = append(sends, model.Message{To: px.owner(b), Body: body})
+		} else {
+			sends = append(sends, px.nack(b, st))
+		}
+
+	case pxPromise:
+		b := atoi(fields[1])
+		if st.proposing && !st.inPhase2 && b == st.curBal {
+			pr := promise{from: m.From, vbal: atoi(fields[2]), vval: model.Value(atoi(fields[3]))}
+			st.addPromise(pr)
+			if len(st.promises) >= px.Quorum() {
+				v := st.input
+				best := -1
+				for _, q := range st.promises {
+					if q.vbal > best {
+						best = q.vbal
+						v = q.vval
+					}
+				}
+				st.inPhase2 = true
+				body := fmt.Sprintf("%s|%d|%d", pxAccept, st.curBal, v)
+				sends = append(sends, model.Broadcast(p, px.Procs, body)...)
+			}
+		}
+
+	case pxNack:
+		b := atoi(fields[1])
+		hb := atoi(fields[2])
+		if st.proposing && b == st.curBal {
+			next := px.nextBallot(p, maxInt(hb, st.curBal))
+			st.promises = nil
+			st.inPhase2 = false
+			if px.MaxBallot > 0 && next > px.MaxBallot {
+				st.proposing = false
+				st.gaveUp = true
+			} else {
+				st.curBal = next
+				sends = append(sends, model.Broadcast(p, px.Procs, pxPrepare+"|"+strconv.Itoa(next))...)
+			}
+		}
+
+	case pxAccept:
+		b := atoi(fields[1])
+		v := model.Value(atoi(fields[2]))
+		if b >= st.promised {
+			st.promised = b
+			st.accBal = b
+			st.accVal = v
+			body := fmt.Sprintf("%s|%d|%d", pxAccepted, b, v)
+			sends = append(sends, model.Broadcast(p, px.Procs, body)...)
+		} else {
+			sends = append(sends, px.nack(b, st))
+		}
+
+	case pxAccepted:
+		b := atoi(fields[1])
+		v := model.Value(atoi(fields[2]))
+		if b > st.learnBal {
+			st.learnBal = b
+			st.learnVal = v
+			st.learnSet = map[int]bool{}
+		}
+		if b == st.learnBal {
+			st.learnSet[int(m.From)] = true
+			if len(st.learnSet) >= px.Quorum() && !st.out.Decided() {
+				st.out = model.OutputOf(st.learnVal)
+			}
+		}
+	}
+	return sends
+}
+
+func (px *PaxosSynod) nack(b int, st *paxosState) model.Message {
+	body := fmt.Sprintf("%s|%d|%d", pxNack, b, st.promised)
+	return model.Message{To: px.owner(b), Body: body}
+}
+
+func (st *paxosState) addPromise(pr promise) {
+	for _, q := range st.promises {
+		if q.from == pr.from {
+			return
+		}
+	}
+	st.promises = append(st.promises, pr)
+	sort.Slice(st.promises, func(i, j int) bool { return st.promises[i].from < st.promises[j].from })
+}
+
+func atoi(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		panic(fmt.Sprintf("protocols: malformed paxos message field %q", s))
+	}
+	return n
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,291 @@
+package protocols_test
+
+import (
+	"testing"
+
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+	"github.com/flpsim/flp/internal/runtime"
+)
+
+func rr() runtime.Scheduler { return runtime.NewRoundRobin() }
+
+func mustRun(t *testing.T, pr model.Protocol, in model.Inputs, sched runtime.Scheduler, opt runtime.RunOptions) *runtime.RunResult {
+	t.Helper()
+	res, err := runtime.Run(pr, in, sched, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTrivial0AlwaysDecidesZero(t *testing.T) {
+	pr := protocols.NewTrivial0(3)
+	for _, in := range model.AllInputs(3) {
+		res := mustRun(t, pr, in, rr(), runtime.RunOptions{})
+		if !res.AllLiveDecided {
+			t.Fatalf("inputs %s: not all decided", in)
+		}
+		if v, ok := res.DecidedValue(); !ok || v != model.V0 {
+			t.Errorf("inputs %s: decided %v, want 0", in, v)
+		}
+	}
+}
+
+func TestWaitAllDecidesTrueMajority(t *testing.T) {
+	pr := protocols.NewWaitAll(3)
+	for _, in := range model.AllInputs(3) {
+		res := mustRun(t, pr, in, rr(), runtime.RunOptions{})
+		want := model.V0
+		if in.Count(model.V1)*2 > 3 {
+			want = model.V1
+		}
+		if v, ok := res.DecidedValue(); !ok || v != want {
+			t.Errorf("inputs %s: decided %v (ok=%v), want %v", in, v, ok, want)
+		}
+	}
+}
+
+func TestWaitAllBlocksOnOneCrash(t *testing.T) {
+	pr := protocols.NewWaitAll(3)
+	res := mustRun(t, pr, model.Inputs{0, 1, 1}, rr(),
+		runtime.RunOptions{CrashAfter: map[model.PID]int{2: 0}})
+	if !res.Blocked || len(res.Decisions) != 0 {
+		t.Errorf("WaitAll with a dead process: blocked=%v decisions=%v, want blocked with none",
+			res.Blocked, res.Decisions)
+	}
+}
+
+func TestNaiveMajorityToleratesOneCrash(t *testing.T) {
+	pr := protocols.NewNaiveMajority(3)
+	for victim := 0; victim < 3; victim++ {
+		res := mustRun(t, pr, model.Inputs{0, 1, 1}, rr(),
+			runtime.RunOptions{CrashAfter: map[model.PID]int{model.PID(victim): 0}})
+		if !res.AllLiveDecided {
+			t.Errorf("victim p%d: live processes did not decide", victim)
+		}
+	}
+}
+
+func TestTwoPhaseCommitSemantics(t *testing.T) {
+	pr := protocols.NewTwoPhaseCommit(3)
+	for _, in := range model.AllInputs(3) {
+		res := mustRun(t, pr, in, rr(), runtime.RunOptions{})
+		want := model.V1
+		if in.Count(model.V0) > 0 {
+			want = model.V0 // any abort vote aborts the transaction
+		}
+		if v, ok := res.DecidedValue(); !ok || v != want {
+			t.Errorf("inputs %s: decided %v (ok=%v), want %v", in, v, ok, want)
+		}
+		if res.AgreementViolated {
+			t.Errorf("inputs %s: agreement violated", in)
+		}
+	}
+}
+
+func TestTwoPhaseCommitWindowOfVulnerability(t *testing.T) {
+	// The delay of a single process — the coordinator — blocks everyone,
+	// exactly the window the paper's introduction describes.
+	pr := protocols.NewTwoPhaseCommit(3)
+	res := mustRun(t, pr, model.Inputs{1, 1, 1},
+		runtime.Delayed{Victim: protocols.Coordinator, Inner: runtime.NewRoundRobin()},
+		runtime.RunOptions{})
+	if !res.Blocked {
+		t.Error("2PC decided despite a delayed coordinator")
+	}
+	if len(res.Decisions) != 0 {
+		t.Errorf("decisions = %v, want none", res.Decisions)
+	}
+	// A delayed participant also blocks: the coordinator waits for all
+	// votes. 2PC has no fault tolerance at all.
+	res2 := mustRun(t, pr, model.Inputs{1, 1, 1},
+		runtime.Delayed{Victim: 2, Inner: runtime.NewRoundRobin()}, runtime.RunOptions{})
+	if !res2.Blocked {
+		t.Error("2PC decided despite a delayed participant")
+	}
+}
+
+func TestPaxosValidityAndAgreement(t *testing.T) {
+	pr := protocols.NewPaxosSynod(3)
+	for _, in := range model.AllInputs(3) {
+		res := mustRun(t, pr, in, rr(), runtime.RunOptions{MaxSteps: 50000})
+		if !res.AllLiveDecided {
+			t.Fatalf("inputs %s: round-robin Paxos did not decide", in)
+		}
+		if res.AgreementViolated {
+			t.Fatalf("inputs %s: agreement violated", in)
+		}
+		v, ok := res.DecidedValue()
+		if !ok {
+			t.Fatalf("inputs %s: no unique decision", in)
+		}
+		// Validity: the decision is some process's input.
+		if in.Count(v) == 0 {
+			t.Errorf("inputs %s: decided %v, which nobody proposed", in, v)
+		}
+	}
+}
+
+func TestPaxosAgreementUnderRandomSchedulesAndCrashes(t *testing.T) {
+	pr := protocols.NewPaxosSynod(3)
+	for victim := -1; victim < 3; victim++ {
+		opt := runtime.RunOptions{MaxSteps: 100000}
+		if victim >= 0 {
+			opt.CrashAfter = map[model.PID]int{model.PID(victim): 4}
+		}
+		agg, err := runtime.RunMany(pr, model.Inputs{0, 1, 1},
+			func() runtime.Scheduler { return runtime.RandomFair{} }, opt, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg.Violations != 0 {
+			t.Fatalf("victim=%d: %d agreement violations", victim, agg.Violations)
+		}
+		if agg.Decided != agg.Runs {
+			t.Errorf("victim=%d: only %d/%d runs decided", victim, agg.Decided, agg.Runs)
+		}
+	}
+}
+
+func TestPaxosBoundedGivesUp(t *testing.T) {
+	// With MaxBallot 0-ish small, proposers exhaust their ballots; safety
+	// must hold even if no decision is reached.
+	pr := protocols.NewBoundedPaxosSynod(3, 1)
+	res := mustRun(t, pr, model.Inputs{0, 1, 1}, rr(), runtime.RunOptions{MaxSteps: 5000})
+	if res.AgreementViolated {
+		t.Error("bounded Paxos violated agreement")
+	}
+}
+
+func TestPaxosQuorum(t *testing.T) {
+	if q := protocols.NewPaxosSynod(3).Quorum(); q != 2 {
+		t.Errorf("Quorum(3) = %d, want 2", q)
+	}
+	if q := protocols.NewPaxosSynod(5).Quorum(); q != 3 {
+		t.Errorf("Quorum(5) = %d, want 3", q)
+	}
+}
+
+func TestBenOrTerminatesAcrossSeeds(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		pr := protocols.NewBenOrDeterministic(3, seed)
+		res := mustRun(t, pr, model.Inputs{0, 1, 1}, rr(), runtime.RunOptions{MaxSteps: 30000})
+		if !res.AllLiveDecided {
+			t.Errorf("seed %d: Ben-Or did not decide within 30000 round-robin steps", seed)
+		}
+		if res.AgreementViolated {
+			t.Errorf("seed %d: agreement violated", seed)
+		}
+	}
+}
+
+func TestBenOrValidity(t *testing.T) {
+	// Unanimous inputs decide that value in round 1, no coin needed.
+	for _, v := range []model.Value{model.V0, model.V1} {
+		pr := protocols.NewBenOrDeterministic(3, 5)
+		res := mustRun(t, pr, model.UniformInputs(3, v), rr(), runtime.RunOptions{MaxSteps: 5000})
+		if got, ok := res.DecidedValue(); !ok || got != v {
+			t.Errorf("unanimous %v: decided %v (ok=%v)", v, got, ok)
+		}
+	}
+}
+
+func TestBenOrToleratesMinorityCrashes(t *testing.T) {
+	pr := protocols.NewBenOrDeterministic(5, 3)
+	agg, err := runtime.RunMany(pr, model.Inputs{0, 1, 1, 0, 1},
+		func() runtime.Scheduler { return runtime.RandomFair{} },
+		runtime.RunOptions{MaxSteps: 50000, CrashAfter: map[model.PID]int{0: 0, 4: 2}},
+		15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Decided != agg.Runs || agg.Violations != 0 {
+		t.Errorf("decided=%d/%d violations=%d", agg.Decided, agg.Runs, agg.Violations)
+	}
+}
+
+func TestBenOrCoinDeterministic(t *testing.T) {
+	a := protocols.NewBenOrDeterministic(3, 11)
+	b := protocols.NewBenOrDeterministic(3, 11)
+	for p := model.PID(0); p < 3; p++ {
+		for r := 1; r <= 20; r++ {
+			if a.Coin(p, r) != b.Coin(p, r) {
+				t.Fatalf("coin not deterministic at (%d, %d)", p, r)
+			}
+		}
+	}
+	// The tape must not be round-parity periodic (the failure mode that
+	// livelocks round-robin runs forever).
+	same := 0
+	for r := 1; r <= 64; r++ {
+		if a.Coin(0, r) == a.Coin(0, r+2) {
+			same++
+		}
+	}
+	if same == 64 || same == 0 {
+		t.Errorf("coin tape is period-2 correlated (%d/64 matches)", same)
+	}
+}
+
+func TestBenOrFaults(t *testing.T) {
+	for n, want := range map[int]int{2: 0, 3: 1, 5: 2, 7: 3} {
+		if got := protocols.NewBenOrDeterministic(n, 0).Faults(); got != want {
+			t.Errorf("Faults(n=%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := protocols.Names()
+	if len(names) < 6 {
+		t.Fatalf("registry has %d protocols: %v", len(names), names)
+	}
+	for _, name := range names {
+		f, ok := protocols.Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", name)
+		}
+		// Protocols differ in their minimum size; 4 satisfies all of them.
+		pr, err := f(4)
+		if err != nil {
+			t.Fatalf("factory %q: %v", name, err)
+		}
+		if pr.N() != 4 {
+			t.Errorf("factory %q built N=%d", name, pr.N())
+		}
+	}
+	if _, ok := protocols.Lookup("nonexistent"); ok {
+		t.Error("Lookup of unknown name succeeded")
+	}
+	if _, err := mustFactory(t, "paxos")(2); err == nil {
+		t.Error("paxos factory accepted n=2")
+	}
+	if _, err := mustFactory(t, "naivemajority")(2); err == nil {
+		t.Error("naivemajority factory accepted n=2")
+	}
+}
+
+func mustFactory(t *testing.T, name string) protocols.Factory {
+	t.Helper()
+	f, ok := protocols.Lookup(name)
+	if !ok {
+		t.Fatalf("Lookup(%q) failed", name)
+	}
+	return f
+}
+
+func TestProtocolNames(t *testing.T) {
+	checks := map[string]model.Protocol{
+		"trivial0(n=3)":      protocols.NewTrivial0(3),
+		"waitall(n=3)":       protocols.NewWaitAll(3),
+		"naivemajority(n=3)": protocols.NewNaiveMajority(3),
+		"2pc(n=3)":           protocols.NewTwoPhaseCommit(3),
+		"paxos(n=3)":         protocols.NewPaxosSynod(3),
+	}
+	for want, pr := range checks {
+		if pr.Name() != want {
+			t.Errorf("Name = %q, want %q", pr.Name(), want)
+		}
+	}
+}

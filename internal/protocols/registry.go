@@ -1,0 +1,64 @@
+package protocols
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/flpsim/flp/internal/model"
+)
+
+// Factory constructs a protocol instance for n processes.
+type Factory func(n int) (model.Protocol, error)
+
+// registry maps protocol names to factories, for the command-line tools.
+var registry = map[string]Factory{
+	"trivial0": func(n int) (model.Protocol, error) {
+		return NewTrivial0(n), nil
+	},
+	"waitall": func(n int) (model.Protocol, error) {
+		return NewWaitAll(n), nil
+	},
+	"naivemajority": func(n int) (model.Protocol, error) {
+		if n < 3 {
+			return nil, fmt.Errorf("naivemajority needs n ≥ 3, got %d", n)
+		}
+		return NewNaiveMajority(n), nil
+	},
+	"2pc": func(n int) (model.Protocol, error) {
+		return NewTwoPhaseCommit(n), nil
+	},
+	"3pc": func(n int) (model.Protocol, error) {
+		return NewThreePhaseCommit(n), nil
+	},
+	"paxos": func(n int) (model.Protocol, error) {
+		if n < 3 {
+			return nil, fmt.Errorf("paxos needs n ≥ 3, got %d", n)
+		}
+		return NewPaxosSynod(n), nil
+	},
+	"benor": func(n int) (model.Protocol, error) {
+		return NewBenOrDeterministic(n, 1), nil
+	},
+	"onethird": func(n int) (model.Protocol, error) {
+		if n < 4 {
+			return nil, fmt.Errorf("onethird needs n ≥ 4 for any fault tolerance, got %d", n)
+		}
+		return NewOneThirdRule(n), nil
+	},
+}
+
+// Lookup returns the factory for a registered protocol name.
+func Lookup(name string) (Factory, bool) {
+	f, ok := registry[name]
+	return f, ok
+}
+
+// Names lists the registered protocol names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

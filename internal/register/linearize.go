@@ -1,0 +1,84 @@
+package register
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckLinearizable decides whether a register history is linearizable
+// with respect to the sequential register specification (reads return the
+// most recently written value; the register starts at initial).
+//
+// It is the Wing-Gong search with state memoization: linearize one
+// minimal (real-time-enabled) operation at a time, where a write is always
+// legal and a read is legal iff it returns the current value. The memo key
+// is (set of linearized operations, register value), which keeps the
+// search polynomial-ish on the histories the simulator produces. Histories
+// up to ~30 operations check instantly.
+func CheckLinearizable(history []Op, initial int64) bool {
+	n := len(history)
+	if n == 0 {
+		return true
+	}
+	if n > 63 {
+		panic(fmt.Sprintf("register: history of %d ops exceeds the checker's 63-op bitmask", n))
+	}
+	ops := append([]Op(nil), history...)
+	// Canonical order for deterministic exploration.
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Start != ops[j].Start {
+			return ops[i].Start < ops[j].Start
+		}
+		return ops[i].End < ops[j].End
+	})
+
+	type key struct {
+		done uint64
+		val  int64
+	}
+	failed := make(map[key]bool)
+
+	var rec func(done uint64, val int64) bool
+	rec = func(done uint64, val int64) bool {
+		if done == (uint64(1)<<n)-1 {
+			return true
+		}
+		k := key{done, val}
+		if failed[k] {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			// i is enabled iff no other unlinearized operation finished
+			// before i started.
+			enabled := true
+			for j := 0; j < n; j++ {
+				if i == j || done&(1<<j) != 0 {
+					continue
+				}
+				if ops[j].End < ops[i].Start {
+					enabled = false
+					break
+				}
+			}
+			if !enabled {
+				continue
+			}
+			switch ops[i].Kind {
+			case OpWrite:
+				if rec(done|(1<<i), ops[i].Value) {
+					return true
+				}
+			case OpRead:
+				if ops[i].Value == val && rec(done|(1<<i), val) {
+					return true
+				}
+			}
+		}
+		failed[k] = true
+		return false
+	}
+	return rec(0, initial)
+}

@@ -1,0 +1,326 @@
+// Package register implements a multi-writer multi-reader atomic register
+// over the asynchronous crash-fault model (the ABD emulation of Attiya,
+// Bar-Noy, and Dolev), plus a linearizability checker for the histories it
+// produces.
+//
+// The point, next to the impossibility under reproduction: consensus is
+// unsolvable with one faulty process, but atomic shared *storage* is
+// perfectly implementable with any crashing minority — wait-free, no
+// timeouts, no oracles. The boundary FLP draws runs between storage and
+// agreement, and this package puts the solvable side under test.
+//
+// Protocol (majority quorums, N replicas, f < N/2 crashes):
+//
+//	write(v): query a majority for timestamps; pick (maxTS+1, writerID);
+//	          send the update to all; wait for majority acks.
+//	read():   query a majority; adopt the largest (ts, wid) pair;
+//	          WRITE IT BACK to a majority; return its value.
+//
+// The read's write-back phase is what upgrades regularity to atomicity —
+// dropping it (Config.SkipWriteBack) re-creates the classic new/old
+// inversion, which the linearizability checker duly catches.
+package register
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// tag is an update timestamp: lexicographically ordered (TS, Writer).
+type tag struct {
+	ts  int
+	wid int
+}
+
+func (t tag) less(o tag) bool {
+	if t.ts != o.ts {
+		return t.ts < o.ts
+	}
+	return t.wid < o.wid
+}
+
+// replica is one storage server.
+type replica struct {
+	tag tag
+	val int64
+}
+
+// OpKind distinguishes history operations.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpWrite OpKind = iota
+	OpRead
+)
+
+// Op is one completed operation of a history, with its real-time interval
+// in simulation steps.
+type Op struct {
+	Client int
+	Kind   OpKind
+	// Value is the written value for writes, the returned value for reads.
+	Value int64
+	// Start and End bracket the operation in global simulation time.
+	Start, End int
+}
+
+func (o Op) String() string {
+	k := "write"
+	if o.Kind == OpRead {
+		k = "read"
+	}
+	return fmt.Sprintf("c%d:%s(%d)@[%d,%d]", o.Client, k, o.Value, o.Start, o.End)
+}
+
+// Config describes one simulated workload.
+type Config struct {
+	// Servers is the number of replicas N ≥ 2.
+	Servers int
+	// CrashedServers marks replicas that are down for the whole run. Must
+	// stay a minority for liveness.
+	CrashedServers map[int]bool
+	// Scripts lists, per client, the operations to issue sequentially:
+	// each entry is a write of the given value, or a read when Read is
+	// true. Values across writes should be distinct for checkable
+	// histories.
+	Scripts [][]ScriptOp
+	// SkipWriteBack disables the read's second phase, deliberately
+	// breaking atomicity (the ablation).
+	SkipWriteBack bool
+	// Seed drives the adversarial message scheduler.
+	Seed int64
+	// MaxSteps bounds the simulation. Default 100000.
+	MaxSteps int
+}
+
+// ScriptOp is one scripted client operation.
+type ScriptOp struct {
+	Read  bool
+	Value int64 // written value (ignored for reads)
+}
+
+// W and R build script entries.
+func W(v int64) ScriptOp { return ScriptOp{Value: v} }
+
+// R builds a read script entry.
+func R() ScriptOp { return ScriptOp{Read: true} }
+
+// Result reports one simulated workload.
+type Result struct {
+	// History holds every completed operation.
+	History []Op
+	// Incomplete counts operations still pending when the run ended.
+	Incomplete int
+	// Steps is the number of message deliveries performed.
+	Steps int
+}
+
+func (c Config) quorum() int { return c.Servers/2 + 1 }
+
+func (c Config) validate() error {
+	if c.Servers < 2 {
+		return fmt.Errorf("register: need ≥ 2 servers, got %d", c.Servers)
+	}
+	if len(c.CrashedServers) >= c.quorum() {
+		// Allowed — but then liveness is gone; the caller tests that
+		// explicitly. Nothing to reject.
+		_ = 0
+	}
+	if len(c.Scripts) == 0 {
+		return fmt.Errorf("register: no client scripts")
+	}
+	return nil
+}
+
+// message is an in-flight request or response.
+type message struct {
+	toServer bool
+	server   int
+	client   int
+	// request payload
+	kind  msgKind
+	tag   tag
+	val   int64
+	opSeq int // client's operation sequence number, echoed in replies
+}
+
+type msgKind uint8
+
+const (
+	mQuery msgKind = iota // read/ts query
+	mQueryReply
+	mUpdate // adopt (tag, val)
+	mUpdateAck
+)
+
+// clientState is one client's operation state machine.
+type clientState struct {
+	script  []ScriptOp
+	next    int // index of next script op to issue
+	opSeq   int
+	active  bool
+	isRead  bool
+	started int // step the active op started
+
+	phase      int // 1 = query, 2 = update
+	replies    int
+	bestTag    tag
+	bestVal    int64
+	acks       int
+	pendingVal int64 // value being written (writes) or written back (reads)
+}
+
+// Run simulates the workload under an adversarial (seeded) message
+// scheduler and returns the completed-operation history.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 100000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	replicas := make([]replica, cfg.Servers)
+	clients := make([]clientState, len(cfg.Scripts))
+	for i := range clients {
+		clients[i] = clientState{script: cfg.Scripts[i]}
+	}
+
+	var inflight []message
+	res := &Result{}
+	step := 0
+
+	issue := func(ci int) {
+		cl := &clients[ci]
+		if cl.active || cl.next >= len(cl.script) {
+			return
+		}
+		op := cl.script[cl.next]
+		cl.next++
+		cl.opSeq++
+		cl.active = true
+		cl.isRead = op.Read
+		cl.started = step
+		cl.phase = 1
+		cl.replies = 0
+		cl.acks = 0
+		cl.bestTag = tag{-1, -1}
+		cl.pendingVal = op.Value
+		for s := 0; s < cfg.Servers; s++ {
+			inflight = append(inflight, message{toServer: true, server: s, client: ci, kind: mQuery, opSeq: cl.opSeq})
+		}
+	}
+	for ci := range clients {
+		issue(ci)
+	}
+
+	complete := func(ci int) {
+		cl := &clients[ci]
+		val := cl.pendingVal
+		kind := OpWrite
+		if cl.isRead {
+			kind = OpRead
+			val = cl.bestVal
+		}
+		res.History = append(res.History, Op{
+			Client: ci, Kind: kind, Value: val, Start: cl.started, End: step,
+		})
+		cl.active = false
+		issue(ci)
+	}
+
+	startPhase2 := func(ci int) {
+		cl := &clients[ci]
+		cl.phase = 2
+		cl.acks = 0
+		var t tag
+		var v int64
+		if cl.isRead {
+			t, v = cl.bestTag, cl.bestVal
+			if cfg.SkipWriteBack {
+				complete(ci)
+				return
+			}
+		} else {
+			t = tag{ts: cl.bestTag.ts + 1, wid: ci}
+			v = cl.pendingVal
+		}
+		for s := 0; s < cfg.Servers; s++ {
+			inflight = append(inflight, message{toServer: true, server: s, client: ci,
+				kind: mUpdate, tag: t, val: v, opSeq: cl.opSeq})
+		}
+	}
+
+	for step = 1; step <= cfg.MaxSteps; step++ {
+		// Drop messages to crashed servers eagerly; pick a random
+		// deliverable message.
+		live := inflight[:0]
+		for _, m := range inflight {
+			if m.toServer && cfg.CrashedServers[m.server] {
+				continue
+			}
+			live = append(live, m)
+		}
+		inflight = live
+		if len(inflight) == 0 {
+			break
+		}
+		i := rng.Intn(len(inflight))
+		m := inflight[i]
+		inflight = append(inflight[:i], inflight[i+1:]...)
+		res.Steps = step
+
+		if m.toServer {
+			rep := &replicas[m.server]
+			switch m.kind {
+			case mQuery:
+				inflight = append(inflight, message{server: m.server, client: m.client,
+					kind: mQueryReply, tag: rep.tag, val: rep.val, opSeq: m.opSeq})
+			case mUpdate:
+				if rep.tag.less(m.tag) {
+					rep.tag = m.tag
+					rep.val = m.val
+				}
+				inflight = append(inflight, message{server: m.server, client: m.client,
+					kind: mUpdateAck, opSeq: m.opSeq})
+			}
+			continue
+		}
+
+		cl := &clients[m.client]
+		if !cl.active || m.opSeq != cl.opSeq {
+			continue // stale reply from a finished operation
+		}
+		switch m.kind {
+		case mQueryReply:
+			if cl.phase != 1 {
+				continue
+			}
+			cl.replies++
+			if cl.bestTag.less(m.tag) {
+				cl.bestTag = m.tag
+				cl.bestVal = m.val
+			}
+			if cl.replies == cfg.quorum() {
+				startPhase2(m.client)
+			}
+		case mUpdateAck:
+			if cl.phase != 2 {
+				continue
+			}
+			cl.acks++
+			if cl.acks == cfg.quorum() {
+				complete(m.client)
+			}
+		}
+	}
+
+	for ci := range clients {
+		if clients[ci].active {
+			res.Incomplete++
+		}
+		res.Incomplete += len(clients[ci].script) - clients[ci].next
+	}
+	return res, nil
+}

@@ -1,0 +1,209 @@
+package register_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/flpsim/flp/internal/register"
+)
+
+func TestSequentialHistoryLinearizable(t *testing.T) {
+	h := []register.Op{
+		{Client: 0, Kind: register.OpWrite, Value: 1, Start: 0, End: 1},
+		{Client: 1, Kind: register.OpRead, Value: 1, Start: 2, End: 3},
+		{Client: 0, Kind: register.OpWrite, Value: 2, Start: 4, End: 5},
+		{Client: 1, Kind: register.OpRead, Value: 2, Start: 6, End: 7},
+	}
+	if !register.CheckLinearizable(h, 0) {
+		t.Error("clean sequential history rejected")
+	}
+}
+
+func TestStaleSequentialReadRejected(t *testing.T) {
+	h := []register.Op{
+		{Client: 0, Kind: register.OpWrite, Value: 1, Start: 0, End: 1},
+		{Client: 1, Kind: register.OpRead, Value: 0, Start: 2, End: 3}, // stale!
+	}
+	if register.CheckLinearizable(h, 0) {
+		t.Error("stale read accepted")
+	}
+}
+
+func TestConcurrentReadMayReturnEitherValue(t *testing.T) {
+	// A read concurrent with a write may return old or new.
+	for _, v := range []int64{0, 7} {
+		h := []register.Op{
+			{Client: 0, Kind: register.OpWrite, Value: 7, Start: 0, End: 10},
+			{Client: 1, Kind: register.OpRead, Value: v, Start: 2, End: 5},
+		}
+		if !register.CheckLinearizable(h, 0) {
+			t.Errorf("concurrent read returning %d rejected", v)
+		}
+	}
+	// But not a value never written.
+	h := []register.Op{
+		{Client: 0, Kind: register.OpWrite, Value: 7, Start: 0, End: 10},
+		{Client: 1, Kind: register.OpRead, Value: 99, Start: 2, End: 5},
+	}
+	if register.CheckLinearizable(h, 0) {
+		t.Error("phantom value accepted")
+	}
+}
+
+func TestNewOldInversionRejected(t *testing.T) {
+	// Two sequential reads straddling a concurrent write must not observe
+	// new-then-old.
+	h := []register.Op{
+		{Client: 0, Kind: register.OpWrite, Value: 1, Start: 0, End: 20},
+		{Client: 1, Kind: register.OpRead, Value: 1, Start: 2, End: 4}, // sees new
+		{Client: 2, Kind: register.OpRead, Value: 0, Start: 6, End: 8}, // then old: illegal
+	}
+	if register.CheckLinearizable(h, 0) {
+		t.Error("new/old inversion accepted")
+	}
+	// The other order is fine.
+	h[1].Value, h[2].Value = 0, 1
+	if !register.CheckLinearizable(h, 0) {
+		t.Error("old-then-new rejected")
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if !register.CheckLinearizable(nil, 0) {
+		t.Error("empty history rejected")
+	}
+}
+
+func scripts(r *rand.Rand, clients, opsPer int) ([][]register.ScriptOp, int) {
+	var nextVal int64 = 1
+	sc := make([][]register.ScriptOp, clients)
+	total := 0
+	for c := range sc {
+		for i := 0; i < opsPer; i++ {
+			if r.Intn(2) == 0 {
+				sc[c] = append(sc[c], register.W(nextVal))
+				nextVal++
+			} else {
+				sc[c] = append(sc[c], register.R())
+			}
+			total++
+		}
+	}
+	return sc, total
+}
+
+func TestABDLinearizableAcrossSeeds(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for seed := int64(0); seed < 60; seed++ {
+		sc, total := scripts(r, 3, 4)
+		crashed := map[int]bool{}
+		if seed%2 == 0 {
+			crashed[int(seed)%5] = true // one crashed replica on even seeds
+		}
+		res, err := register.Run(register.Config{
+			Servers:        5,
+			CrashedServers: crashed,
+			Scripts:        sc,
+			Seed:           seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Incomplete != 0 {
+			t.Fatalf("seed %d: %d operations incomplete with a live majority", seed, res.Incomplete)
+		}
+		if len(res.History) != total {
+			t.Fatalf("seed %d: history has %d ops, want %d", seed, len(res.History), total)
+		}
+		if !register.CheckLinearizable(res.History, 0) {
+			t.Fatalf("seed %d: ABD produced a non-linearizable history:\n%v", seed, res.History)
+		}
+	}
+}
+
+func TestABDWithMaximalMinorityCrash(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	sc, _ := scripts(r, 4, 3)
+	res, err := register.Run(register.Config{
+		Servers:        5,
+		CrashedServers: map[int]bool{1: true, 3: true}, // f = 2 of 5
+		Scripts:        sc,
+		Seed:           9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete != 0 {
+		t.Fatalf("%d ops incomplete despite a live majority", res.Incomplete)
+	}
+	if !register.CheckLinearizable(res.History, 0) {
+		t.Fatal("non-linearizable history with crashed minority")
+	}
+}
+
+func TestABDMajorityCrashBlocks(t *testing.T) {
+	res, err := register.Run(register.Config{
+		Servers:        5,
+		CrashedServers: map[int]bool{0: true, 1: true, 2: true},
+		Scripts:        [][]register.ScriptOp{{register.W(1)}},
+		Seed:           1,
+		MaxSteps:       5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete == 0 {
+		t.Error("write completed without a quorum")
+	}
+	if len(res.History) != 0 {
+		t.Errorf("history = %v, want empty", res.History)
+	}
+}
+
+func TestSkipWriteBackBreaksAtomicity(t *testing.T) {
+	// The ablation: without the read's write-back phase the emulation is
+	// merely regular — a reader that catches one freshly-updated replica
+	// returns the new value while a later reader whose quorum missed the
+	// update returns the old one (the new/old inversion). The window is
+	// narrow under uniform random delivery, so drive a targeted workload
+	// (one slow write, many readers) across a seed sweep; the checker must
+	// catch at least one inversion, and the identical sweep with the
+	// write-back enabled must catch none.
+	inversions := func(skipWriteBack bool) int {
+		found := 0
+		for seed := int64(0); seed < 3000; seed++ {
+			res, err := register.Run(register.Config{
+				Servers: 5,
+				Scripts: [][]register.ScriptOp{
+					{register.W(1)},
+					{register.R(), register.R(), register.R()},
+					{register.R(), register.R(), register.R()},
+				},
+				Seed:          seed,
+				SkipWriteBack: skipWriteBack,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Incomplete == 0 && !register.CheckLinearizable(res.History, 0) {
+				found++
+			}
+		}
+		return found
+	}
+	if got := inversions(true); got == 0 {
+		t.Error("no linearizability violation found without write-back; the ablation (or the checker) is broken")
+	}
+	if got := inversions(false); got != 0 {
+		t.Errorf("%d violations WITH write-back: ABD itself is broken", got)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := register.Run(register.Config{Servers: 1, Scripts: [][]register.ScriptOp{{register.R()}}}); err == nil {
+		t.Error("single-server config accepted")
+	}
+	if _, err := register.Run(register.Config{Servers: 3}); err == nil {
+		t.Error("empty scripts accepted")
+	}
+}

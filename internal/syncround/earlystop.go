@@ -1,0 +1,110 @@
+package syncround
+
+import (
+	"github.com/flpsim/flp/internal/model"
+)
+
+// EarlyDecider is implemented by algorithm processes that can commit to
+// their decision before the final round. The executor still runs all
+// rounds (messages keep flowing); DecidedAt reports when the decision
+// became fixed, for the early-stopping measurements.
+type EarlyDecider interface {
+	DecidedAt() (round int, ok bool)
+}
+
+// EarlyFloodSet is FloodSet with the classic early-stopping rule: a
+// process that observes the same sender set in two consecutive rounds has
+// witnessed a failure-free exchange — every value any live process holds
+// already reached it — so its decision is fixed then, in round f'+2 at the
+// latest where f' is the number of crashes that actually occur (still
+// bounded by the worst-case f+1).
+//
+// The sender set a process observes is non-increasing over rounds (a
+// process sends fully until its crash round and partially or not at all
+// afterwards), so "no sender disappeared" is exactly "no failure visible".
+type EarlyFloodSet struct{}
+
+// Name implements Algorithm.
+func (EarlyFloodSet) Name() string { return "floodset-early" }
+
+// Rounds implements Algorithm: the worst case is unchanged.
+func (EarlyFloodSet) Rounds(_, f int) int { return f + 1 }
+
+// NewProcess implements Algorithm.
+func (EarlyFloodSet) NewProcess(_, _ int, input model.Value) Process {
+	ep := &earlyProcess{}
+	ep.w[input] = true
+	return ep
+}
+
+type earlyProcess struct {
+	w           [2]bool
+	prevSenders map[int]bool
+	decidedAt   int     // 0 = not yet fixed
+	earlyW      [2]bool // snapshot of w at the moment the decision fixed
+}
+
+// Send implements Process.
+func (ep *earlyProcess) Send(int) string { return encodeSet(ep.w) }
+
+// Recv implements Process.
+func (ep *earlyProcess) Recv(r int, payloads map[int]string) {
+	for _, payload := range payloads {
+		w := decodeSet(payload)
+		ep.w[0] = ep.w[0] || w[0]
+		ep.w[1] = ep.w[1] || w[1]
+	}
+	senders := make(map[int]bool, len(payloads))
+	for from := range payloads {
+		senders[from] = true
+	}
+	if ep.decidedAt == 0 && ep.prevSenders != nil && sameSet(senders, ep.prevSenders) {
+		ep.decidedAt = r
+		ep.earlyW = ep.w
+	}
+	ep.prevSenders = senders
+}
+
+// Decide implements Process.
+func (ep *earlyProcess) Decide() (model.Value, bool) {
+	if ep.w[0] {
+		return model.V0, true
+	}
+	if ep.w[1] {
+		return model.V1, true
+	}
+	return 0, false
+}
+
+// DecidedAt implements EarlyDecider.
+func (ep *earlyProcess) DecidedAt() (int, bool) {
+	if ep.decidedAt > 0 {
+		return ep.decidedAt, true
+	}
+	return 0, false
+}
+
+// EarlyValue returns the decision value as fixed at DecidedAt. The
+// early-stopping argument says it equals the final Decide value — a clean
+// round means no live process holds anything this one lacks.
+func (ep *earlyProcess) EarlyValue() (model.Value, bool) {
+	if ep.decidedAt == 0 {
+		return 0, false
+	}
+	if ep.earlyW[0] {
+		return model.V0, true
+	}
+	return model.V1, true
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,114 @@
+package syncround_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/syncround"
+)
+
+func TestEarlyFloodSetNoCrashesDecidesRound2(t *testing.T) {
+	// With no crashes the very first repeat round (round 2) is clean:
+	// everyone's decision fixes at round 2 even with a large budget f.
+	res, err := syncround.Run(syncround.EarlyFloodSet{},
+		model.Inputs{0, 1, 1, 0, 1}, 4, syncround.CrashPattern{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement {
+		t.Fatal("disagreement")
+	}
+	for p, proc := range res.Procs {
+		ed := proc.(syncround.EarlyDecider)
+		r, ok := ed.DecidedAt()
+		if !ok || r != 2 {
+			t.Errorf("p%d decision fixed at round %d (ok=%v), want 2", p, r, ok)
+		}
+	}
+}
+
+func TestEarlyFloodSetMatchesFinalDecision(t *testing.T) {
+	// The value snapshotted at the early-decision point must equal the
+	// final FloodSet decision, across random crash patterns.
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 150; trial++ {
+		n := 4 + r.Intn(4)
+		f := (n - 1) / 2
+		in := make(model.Inputs, n)
+		for i := range in {
+			in[i] = model.Value(r.Intn(2))
+		}
+		cp := syncround.RandomCrashPattern(n, f, f+1, r)
+		res, err := syncround.Run(syncround.EarlyFloodSet{}, in, f, cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Agreement {
+			t.Fatalf("trial %d: disagreement %v under %+v", trial, res.Decisions, cp)
+		}
+		actualCrashes := cp.Crashes()
+		for p := range res.Procs {
+			if _, crashed := cp.Round[p]; crashed {
+				continue
+			}
+			ep := res.Procs[p].(interface {
+				DecidedAt() (int, bool)
+				EarlyValue() (model.Value, bool)
+			})
+			fixedAt, ok := ep.DecidedAt()
+			if ok {
+				early, _ := ep.EarlyValue()
+				if final := res.Decisions[p]; early != final {
+					t.Fatalf("trial %d: p%d early value %v ≠ final %v", trial, p, early, final)
+				}
+				// The early-stopping bound: min(f'+2, f+1).
+				bound := actualCrashes + 2
+				if f+1 < bound {
+					bound = f + 1
+				}
+				if fixedAt > bound {
+					t.Fatalf("trial %d: p%d fixed at round %d > bound %d (f'=%d, f=%d)",
+						trial, p, fixedAt, bound, actualCrashes, f)
+				}
+			}
+		}
+	}
+}
+
+func TestEarlyFloodSetAgreementExhaustiveSmall(t *testing.T) {
+	// Same exhaustive n=3, f=1 sweep as plain FloodSet.
+	for victim := 0; victim < 3; victim++ {
+		for crashRound := 0; crashRound <= 2; crashRound++ {
+			for subset := 0; subset < 4; subset++ {
+				partial := map[int]bool{}
+				others := []int{}
+				for q := 0; q < 3; q++ {
+					if q != victim {
+						others = append(others, q)
+					}
+				}
+				if subset&1 != 0 {
+					partial[others[0]] = true
+				}
+				if subset&2 != 0 {
+					partial[others[1]] = true
+				}
+				cp := syncround.CrashPattern{
+					Round:   map[int]int{victim: crashRound},
+					Partial: map[int]map[int]bool{victim: partial},
+				}
+				for _, in := range model.AllInputs(3) {
+					res, err := syncround.Run(syncround.EarlyFloodSet{}, in, 1, cp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !res.Agreement {
+						t.Fatalf("victim=%d round=%d subset=%d inputs=%s: disagreement %v",
+							victim, crashRound, subset, in, res.Decisions)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package syncround
+
+import (
+	"strings"
+
+	"github.com/flpsim/flp/internal/model"
+)
+
+// FloodSet is the classic synchronous crash-tolerant consensus algorithm:
+// every process maintains the set W of input values it has seen (initially
+// its own input), broadcasts W each round, unions in everything it
+// receives, and after f+1 rounds decides min(W) — here, with binary values,
+// 0 if 0 ∈ W and 1 otherwise.
+//
+// With at most f crashes, some round among the f+1 is crash-free; in that
+// round every live process flushes its W to every other, after which all
+// sets are equal and stay equal. Hence agreement; validity is immediate
+// because W only ever contains inputs.
+type FloodSet struct{}
+
+// Name implements Algorithm.
+func (FloodSet) Name() string { return "floodset" }
+
+// Rounds implements Algorithm: f+1 rounds.
+func (FloodSet) Rounds(_, f int) int { return f + 1 }
+
+// NewProcess implements Algorithm.
+func (FloodSet) NewProcess(_, _ int, input model.Value) Process {
+	fp := &floodProcess{}
+	fp.w[input] = true
+	return fp
+}
+
+type floodProcess struct {
+	w [2]bool // w[v] = v ∈ W
+}
+
+// Send implements Process.
+func (fp *floodProcess) Send(int) string { return encodeSet(fp.w) }
+
+// Recv implements Process.
+func (fp *floodProcess) Recv(_ int, payloads map[int]string) {
+	for _, payload := range payloads {
+		w := decodeSet(payload)
+		fp.w[0] = fp.w[0] || w[0]
+		fp.w[1] = fp.w[1] || w[1]
+	}
+}
+
+// Decide implements Process: min(W), i.e. 0 wins when both are present.
+func (fp *floodProcess) Decide() (model.Value, bool) {
+	if fp.w[0] {
+		return model.V0, true
+	}
+	if fp.w[1] {
+		return model.V1, true
+	}
+	return 0, false
+}
+
+// TruncatedFloodSet is FloodSet cut to a fixed number of rounds, for the
+// ablation that shows f+1 rounds are necessary: with f crashes and only f
+// rounds, there are crash patterns under which survivors disagree.
+type TruncatedFloodSet struct {
+	// R is the number of rounds to run.
+	R int
+}
+
+// Name implements Algorithm.
+func (t TruncatedFloodSet) Name() string { return "floodset-truncated" }
+
+// Rounds implements Algorithm.
+func (t TruncatedFloodSet) Rounds(_, _ int) int { return t.R }
+
+// NewProcess implements Algorithm.
+func (t TruncatedFloodSet) NewProcess(p, n int, input model.Value) Process {
+	return FloodSet{}.NewProcess(p, n, input)
+}
+
+func encodeSet(w [2]bool) string {
+	var sb strings.Builder
+	if w[0] {
+		sb.WriteByte('0')
+	}
+	if w[1] {
+		sb.WriteByte('1')
+	}
+	return sb.String()
+}
+
+func decodeSet(s string) [2]bool {
+	var w [2]bool
+	w[0] = strings.ContainsRune(s, '0')
+	w[1] = strings.ContainsRune(s, '1')
+	return w
+}

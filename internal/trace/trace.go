@@ -1,0 +1,196 @@
+// Package trace renders recorded runs as space-time diagrams and audits
+// their fairness, turning the schedules produced by the runtime and the
+// Theorem 1 adversary into something a human can read.
+//
+// The diagram is the classic distributed-systems picture: one column per
+// process, time flowing downward, one row per event showing who stepped,
+// what was delivered, and what the step sent. The audit quantifies how
+// fair a schedule was: steps per process, deliveries per process, and the
+// maximum delivery lag (how many sends happened between a message's send
+// and its delivery) — the quantities the paper's admissibility definition
+// constrains in the limit.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/flpsim/flp/internal/fifo"
+	"github.com/flpsim/flp/internal/model"
+)
+
+// Audit is the fairness accounting of one finite schedule.
+type Audit struct {
+	// Steps counts events per process.
+	Steps map[model.PID]int
+	// Deliveries counts message receipts per process.
+	Deliveries map[model.PID]int
+	// NullSteps counts null events per process.
+	NullSteps map[model.PID]int
+	// Sent and Delivered are message totals; Pending = Sent - Delivered.
+	Sent, Delivered int
+	// MaxLag is the largest number of events between a message's send and
+	// its delivery, over delivered messages.
+	MaxLag int
+	// MinSteps is the smallest per-process step count — an admissible
+	// run's prefix keeps this growing for every non-faulty process.
+	MinSteps int
+}
+
+// Row is one rendered event of a diagram.
+type Row struct {
+	Index   int
+	Event   model.Event
+	Sends   []model.Message
+	Decided bool // the stepping process is decided after this event
+	Output  model.Output
+}
+
+// Diagram is a replayed, renderable run.
+type Diagram struct {
+	Protocol string
+	N        int
+	Rows     []Row
+	Audit    Audit
+	Final    *model.Config
+}
+
+// Replay re-executes a schedule from the initial configuration given by
+// inputs, collecting the diagram and audit. It fails if the schedule is
+// not applicable — the same strictness as the adversary's verifier.
+func Replay(pr model.Protocol, inputs model.Inputs, sigma model.Schedule) (*Diagram, error) {
+	cfg, err := model.Initial(pr, inputs)
+	if err != nil {
+		return nil, err
+	}
+	n := pr.N()
+	d := &Diagram{
+		Protocol: pr.Name(),
+		N:        n,
+		Audit: Audit{
+			Steps:      map[model.PID]int{},
+			Deliveries: map[model.PID]int{},
+			NullSteps:  map[model.PID]int{},
+		},
+	}
+	tracker := fifo.New()
+	sentAt := map[string][]int{} // message key → event indices of unconsumed sends
+
+	for i, e := range sigma {
+		nc, sends, err := model.ApplyTraced(pr, cfg, e)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if err := tracker.Advance(e, sends); err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		d.Audit.Steps[e.P]++
+		if e.Msg != nil {
+			d.Audit.Deliveries[e.P]++
+			d.Audit.Delivered++
+			k := e.Msg.Key()
+			if idxs := sentAt[k]; len(idxs) > 0 {
+				lag := i - idxs[0]
+				if lag > d.Audit.MaxLag {
+					d.Audit.MaxLag = lag
+				}
+				sentAt[k] = idxs[1:]
+			}
+		} else {
+			d.Audit.NullSteps[e.P]++
+		}
+		for _, m := range sends {
+			d.Audit.Sent++
+			k := m.Key()
+			sentAt[k] = append(sentAt[k], i)
+		}
+		cfg = nc
+		d.Rows = append(d.Rows, Row{
+			Index:   i,
+			Event:   e,
+			Sends:   sends,
+			Decided: cfg.Output(e.P).Decided(),
+			Output:  cfg.Output(e.P),
+		})
+	}
+	d.Final = cfg
+	d.Audit.MinSteps = -1
+	for p := 0; p < n; p++ {
+		s := d.Audit.Steps[model.PID(p)]
+		if d.Audit.MinSteps < 0 || s < d.Audit.MinSteps {
+			d.Audit.MinSteps = s
+		}
+	}
+	return d, nil
+}
+
+// Fprint renders the space-time diagram: one column per process, one row
+// per event.
+func (d *Diagram) Fprint(w io.Writer) {
+	const colWidth = 14
+	fmt.Fprintf(w, "space-time diagram: %s (%d events)\n", d.Protocol, len(d.Rows))
+	header := make([]string, d.N)
+	for p := range header {
+		header[p] = center(fmt.Sprintf("p%d", p), colWidth)
+	}
+	fmt.Fprintf(w, "%5s %s\n", "", strings.Join(header, "|"))
+
+	for _, r := range d.Rows {
+		cells := make([]string, d.N)
+		for p := range cells {
+			cells[p] = center("·", colWidth)
+		}
+		var label string
+		if r.Event.Msg == nil {
+			label = "∅"
+		} else {
+			label = fmt.Sprintf("←p%d %s", r.Event.Msg.From, clip(r.Event.Msg.Body, 8))
+		}
+		if r.Decided {
+			label += " ✓" + r.Output.String()
+		}
+		if len(r.Sends) > 0 {
+			label += fmt.Sprintf(" →%d", len(r.Sends))
+		}
+		cells[int(r.Event.P)] = center(clip(label, colWidth), colWidth)
+		fmt.Fprintf(w, "%5d %s\n", r.Index, strings.Join(cells, "|"))
+	}
+
+	fmt.Fprintf(w, "\naudit: sent=%d delivered=%d pending=%d maxLag=%d minSteps=%d\n",
+		d.Audit.Sent, d.Audit.Delivered, d.Audit.Sent-d.Audit.Delivered, d.Audit.MaxLag, d.Audit.MinSteps)
+	for p := 0; p < d.N; p++ {
+		pid := model.PID(p)
+		fmt.Fprintf(w, "  p%d: %d steps (%d deliveries, %d null)\n",
+			p, d.Audit.Steps[pid], d.Audit.Deliveries[pid], d.Audit.NullSteps[pid])
+	}
+}
+
+// String renders the diagram to a string.
+func (d *Diagram) String() string {
+	var sb strings.Builder
+	d.Fprint(&sb)
+	return sb.String()
+}
+
+// center and clip work in runes so that the glyphs used in labels (∅, ←,
+// ✓) never get cut mid-encoding.
+func center(s string, w int) string {
+	r := []rune(s)
+	if len(r) >= w {
+		return string(r[:w])
+	}
+	left := (w - len(r)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", w-len(r)-left)
+}
+
+func clip(s string, w int) string {
+	r := []rune(s)
+	if len(r) <= w {
+		return s
+	}
+	if w <= 1 {
+		return string(r[:w])
+	}
+	return string(r[:w-1]) + "…"
+}

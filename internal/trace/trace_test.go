@@ -1,0 +1,131 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/flpsim/flp/internal/adversary"
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+	"github.com/flpsim/flp/internal/runtime"
+	"github.com/flpsim/flp/internal/trace"
+)
+
+func recordedRun(t *testing.T, pr model.Protocol, in model.Inputs) *runtime.RunResult {
+	t.Helper()
+	res, err := runtime.Run(pr, in, runtime.NewRoundRobin(),
+		runtime.RunOptions{RecordSchedule: true, MaxSteps: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestReplayMatchesRun(t *testing.T) {
+	pr := protocols.NewWaitAll(3)
+	in := model.Inputs{0, 1, 1}
+	res := recordedRun(t, pr, in)
+	d, err := trace.Replay(pr, in, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != res.Steps {
+		t.Errorf("diagram has %d rows, run took %d steps", len(d.Rows), res.Steps)
+	}
+	if !d.Final.Equal(res.Final) {
+		t.Error("replay diverged from the recorded final configuration")
+	}
+	total := 0
+	for _, s := range d.Audit.Steps {
+		total += s
+	}
+	if total != res.Steps {
+		t.Errorf("audit counts %d steps, run took %d", total, res.Steps)
+	}
+}
+
+func TestAuditAccounting(t *testing.T) {
+	pr := protocols.NewWaitAll(3)
+	in := model.Inputs{0, 1, 1}
+	res := recordedRun(t, pr, in)
+	d, err := trace.Replay(pr, in, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WaitAll sends exactly n(n-1) vote messages.
+	if d.Audit.Sent != 6 {
+		t.Errorf("sent = %d, want 6", d.Audit.Sent)
+	}
+	if d.Audit.Delivered > d.Audit.Sent {
+		t.Errorf("delivered %d > sent %d", d.Audit.Delivered, d.Audit.Sent)
+	}
+	if d.Audit.MaxLag < 0 || d.Audit.MinSteps < 1 {
+		t.Errorf("audit: %+v", d.Audit)
+	}
+	deliveries := 0
+	for _, c := range d.Audit.Deliveries {
+		deliveries += c
+	}
+	if deliveries != d.Audit.Delivered {
+		t.Errorf("per-process deliveries sum %d ≠ total %d", deliveries, d.Audit.Delivered)
+	}
+}
+
+func TestReplayRejectsBogusSchedule(t *testing.T) {
+	pr := protocols.NewWaitAll(3)
+	ghost := model.Schedule{model.Deliver(model.Message{To: 0, From: 1, Body: "V1"})}
+	if _, err := trace.Replay(pr, model.Inputs{0, 1, 1}, ghost); err == nil {
+		t.Error("inapplicable schedule replayed without error")
+	}
+}
+
+func TestDiagramRendering(t *testing.T) {
+	pr := protocols.NewTwoPhaseCommit(3)
+	in := model.Inputs{1, 1, 1}
+	res := recordedRun(t, pr, in)
+	d, err := trace.Replay(pr, in, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.String()
+	for _, want := range []string{"space-time diagram", "2pc(n=3)", "p0", "p2", "audit:", "steps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered diagram missing %q:\n%s", want, out)
+		}
+	}
+	// Every event row appears.
+	if got := strings.Count(out, "\n"); got < res.Steps+5 {
+		t.Errorf("diagram too short: %d lines for %d steps", got, res.Steps)
+	}
+}
+
+func TestDiagramOfAdversarialRun(t *testing.T) {
+	// The Theorem 1 run renders too, and its audit shows the rotation:
+	// every process keeps taking steps, nobody decides.
+	pr := protocols.NewPaxosSynod(3)
+	probe := explore.ProbeOptions{}
+	adv := adversary.New(pr, adversary.Options{
+		Stages:  6,
+		Probe:   &probe,
+		Search:  explore.Options{MaxConfigs: 2000},
+		Valency: explore.Options{MaxConfigs: 1500},
+	})
+	res, err := adv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := trace.Replay(pr, res.Inputs, res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Audit.MinSteps < 2 {
+		t.Errorf("adversarial run audit: min steps %d, want ≥ 2 (rotations)", d.Audit.MinSteps)
+	}
+	if d.Final.DecidedCount() != 0 {
+		t.Error("adversarial run decided in replay")
+	}
+	if !strings.Contains(d.String(), "paxos") {
+		t.Error("diagram missing protocol name")
+	}
+}

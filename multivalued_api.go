@@ -1,0 +1,22 @@
+package flp
+
+import (
+	"github.com/flpsim/flp/internal/multivalued"
+)
+
+// Multivalued-consensus types (the reduction that justifies the paper's
+// binary restriction), re-exported.
+type (
+	// MultivaluedOptions configure a multivalued consensus run.
+	MultivaluedOptions = multivalued.Options
+	// MultivaluedResult reports decided values and the winning candidate.
+	MultivaluedResult = multivalued.Result
+)
+
+// RunMultivalued executes multivalued consensus by candidate rotation over
+// binary Ben-Or instances: agreement on arbitrary values reduces to
+// agreement on bits, which is why the paper can prove its impossibility
+// for one bit without loss of generality.
+func RunMultivalued(opt MultivaluedOptions, proposals []string) (*MultivaluedResult, error) {
+	return multivalued.Run(opt, proposals)
+}

@@ -1,0 +1,43 @@
+package flp
+
+import (
+	"github.com/flpsim/flp/internal/register"
+)
+
+// Atomic-register types (the ABD emulation and its linearizability
+// checker), re-exported.
+type (
+	// RegisterConfig describes one simulated register workload.
+	RegisterConfig = register.Config
+	// RegisterResult is the completed-operation history.
+	RegisterResult = register.Result
+	// RegisterOp is one operation of a history.
+	RegisterOp = register.Op
+	// ScriptOp is one scripted client operation.
+	ScriptOp = register.ScriptOp
+)
+
+// Register operation kinds.
+const (
+	OpWrite = register.OpWrite
+	OpRead  = register.OpRead
+)
+
+// WriteOp and ReadOp build script entries.
+func WriteOp(v int64) ScriptOp { return register.W(v) }
+
+// ReadOp builds a read script entry.
+func ReadOp() ScriptOp { return register.R() }
+
+// RunRegister simulates an ABD multi-writer atomic register workload under
+// an adversarial message scheduler: consensus is impossible in this model,
+// atomic storage is not.
+func RunRegister(cfg RegisterConfig) (*RegisterResult, error) {
+	return register.Run(cfg)
+}
+
+// CheckLinearizable decides whether a register history is linearizable
+// against the sequential register specification.
+func CheckLinearizable(history []RegisterOp, initial int64) bool {
+	return register.CheckLinearizable(history, initial)
+}

@@ -1,0 +1,37 @@
+package flp
+
+import (
+	"github.com/flpsim/flp/internal/runtime"
+)
+
+// Runtime types, re-exported from the concrete executor.
+type (
+	// Scheduler chooses the next event of a simulated run.
+	Scheduler = runtime.Scheduler
+	// Sim is the simulation state handed to schedulers.
+	Sim = runtime.Sim
+	// RunOptions configure one run (bounds, seed, crash injection).
+	RunOptions = runtime.RunOptions
+	// RunResult reports one run.
+	RunResult = runtime.RunResult
+	// EnsembleResult aggregates runs across seeds.
+	EnsembleResult = runtime.EnsembleResult
+	// RandomFair is the seeded fair scheduler.
+	RandomFair = runtime.RandomFair
+	// Delayed suppresses one process indefinitely (the paper's
+	// indistinguishable slow-or-dead process).
+	Delayed = runtime.Delayed
+)
+
+// Run executes pr from the given inputs under sched.
+func Run(pr Protocol, inputs Inputs, sched Scheduler, opt RunOptions) (*RunResult, error) {
+	return runtime.Run(pr, inputs, sched, opt)
+}
+
+// RunMany executes an ensemble of runs across consecutive seeds.
+func RunMany(pr Protocol, inputs Inputs, mkSched func() Scheduler, opt RunOptions, runs int) (EnsembleResult, error) {
+	return runtime.RunMany(pr, inputs, mkSched, opt, runs)
+}
+
+// NewRoundRobin returns the deterministic fair FIFO scheduler.
+func NewRoundRobin() Scheduler { return runtime.NewRoundRobin() }

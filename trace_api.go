@@ -1,0 +1,20 @@
+package flp
+
+import (
+	"github.com/flpsim/flp/internal/trace"
+)
+
+// Trace types, re-exported from the diagram/audit renderer.
+type (
+	// Diagram is a replayed run renderable as a space-time diagram.
+	Diagram = trace.Diagram
+	// TraceAudit is the fairness accounting of one schedule.
+	TraceAudit = trace.Audit
+)
+
+// ReplayDiagram re-executes a recorded schedule from the initial
+// configuration given by inputs, producing a space-time diagram and a
+// fairness audit (steps and deliveries per process, maximum delivery lag).
+func ReplayDiagram(pr Protocol, inputs Inputs, sigma Schedule) (*Diagram, error) {
+	return trace.Replay(pr, inputs, sigma)
+}
