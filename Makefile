@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test test-race test-short fuzz bench bench-parallel vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race coverage for the concurrent engine: the parallel explorer, the
+# config key/hash atomics, the interner, and the shared valency cache.
+# The three named packages carry the concurrency stress tests; the final
+# sweep covers the rest of the tree.
+test-race:
+	$(GO) test -race ./internal/explore ./internal/model ./internal/adversary
+	$(GO) test -race -short ./...
+
+test-short:
+	$(GO) test -short ./...
+
+fuzz:
+	$(GO) test ./internal/model -fuzz FuzzConfigKeyHash -fuzztime 30s
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# The parallel exploration guardrail: E2/E3 at GOMAXPROCS 1 vs 4 (the
+# default worker count follows GOMAXPROCS), plus the explicit-worker-count
+# benchmark.
+bench-parallel:
+	$(GO) test -bench 'BenchmarkE11ParallelExplore' -benchmem -run '^$$' .
+	$(GO) test -bench 'BenchmarkE2InitialValency|BenchmarkE3BivalencePreservation' -cpu 1,4 -run '^$$' .
+
+vet:
+	$(GO) vet ./...

@@ -1,6 +1,8 @@
 package flp_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/flpsim/flp"
@@ -137,6 +139,33 @@ func BenchmarkRegisterWorkload(b *testing.B) {
 		if !flp.CheckLinearizable(res.History, 0) {
 			b.Fatal("non-linearizable")
 		}
+	}
+}
+
+// BenchmarkE11ParallelExplore is the parallel-engine guardrail: the E11
+// partial-correctness sweep of naivemajority (the heaviest exhaustive
+// exploration in the suite) at fixed worker counts. Workers beyond
+// GOMAXPROCS only add coordination overhead, so run with -cpu 4 (or more)
+// to see the speedup; results are byte-identical at every worker count,
+// which the differential tests in internal/explore pin.
+func BenchmarkE11ParallelExplore(b *testing.B) {
+	pr := flp.NewNaiveMajority(3)
+	counts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		counts = append(counts, g)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := flp.CheckPartialCorrectness(pr, flp.CheckOptions{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.AgreementHolds || !rep.Complete {
+					b.Fatal("report changed: naivemajority must violate agreement under an exhaustive sweep")
+				}
+			}
+		})
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/flpsim/flp/internal/experiments"
@@ -20,11 +21,15 @@ import (
 
 func main() {
 	var (
-		id    = flag.String("experiment", "all", "experiment id (E1..E18) or 'all'")
-		scale = flag.Int("scale", 1, "multiply trial counts")
-		seed  = flag.Int64("seed", 1, "base seed")
+		id      = flag.String("experiment", "all", "experiment id (E1..E18) or 'all'")
+		scale   = flag.Int("scale", 1, "multiply trial counts")
+		seed    = flag.Int64("seed", 1, "base seed")
+		workers = flag.Int("workers", 0, "exploration workers: sets GOMAXPROCS, the default worker count of every exploration (0 = leave as is)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	sizes := experiments.DefaultSizes()
 	sizes.Seed = *seed

@@ -24,6 +24,7 @@ func main() {
 		n         = flag.Int("n", 3, "number of processes")
 		budget    = flag.Int("budget", 200000, "max configurations per exploration")
 		stages    = flag.Int("adversary", 0, "also run the Theorem 1 adversary for this many stages")
+		workers   = flag.Int("workers", 0, "exploration workers (0 = GOMAXPROCS, 1 = sequential)")
 		skipL3    = flag.Bool("skip-lemma3", false, "skip the Lemma 3 frontier census")
 		skipAgree = flag.Bool("skip-agreement", false, "skip the partial-correctness audit")
 		list      = flag.Bool("list", false, "list available protocols and exit")
@@ -42,7 +43,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	opt := flp.CheckOptions{MaxConfigs: *budget}
+	opt := flp.CheckOptions{MaxConfigs: *budget, Workers: *workers}
 	unbounded := *name == "paxos" || *name == "benor"
 
 	fmt.Printf("protocol: %s\n\n", pr.Name())
@@ -58,7 +59,7 @@ func main() {
 		runAgreement(pr, opt, unbounded)
 	}
 	if *stages > 0 {
-		runAdversary(pr, *stages, unbounded)
+		runAdversary(pr, *stages, *workers, unbounded)
 	}
 }
 
@@ -71,7 +72,7 @@ func runLemma2(pr flp.Protocol, opt flp.CheckOptions, unbounded bool) {
 		}
 		var info flp.ValencyInfo
 		if unbounded {
-			info = flp.ClassifySmart(pr, c, flp.CheckOptions{MaxConfigs: 2000}, flp.ProbeOptions{})
+			info = flp.ClassifySmart(pr, c, flp.CheckOptions{MaxConfigs: 2000, Workers: opt.Workers}, flp.ProbeOptions{})
 		} else {
 			info = flp.Classify(pr, c, opt)
 		}
@@ -138,7 +139,7 @@ func runLemma3(pr flp.Protocol, opt flp.CheckOptions, unbounded bool) {
 func runAgreement(pr flp.Protocol, opt flp.CheckOptions, unbounded bool) {
 	fmt.Println("== Partial correctness (Section 2) ==")
 	if unbounded {
-		opt = flp.CheckOptions{MaxConfigs: 2000}
+		opt = flp.CheckOptions{MaxConfigs: 2000, Workers: opt.Workers}
 	}
 	rep, err := flp.CheckPartialCorrectness(pr, opt)
 	if err != nil {
@@ -157,9 +158,9 @@ func runAgreement(pr flp.Protocol, opt flp.CheckOptions, unbounded bool) {
 	fmt.Println()
 }
 
-func runAdversary(pr flp.Protocol, stages int, unbounded bool) {
+func runAdversary(pr flp.Protocol, stages, workers int, unbounded bool) {
 	fmt.Printf("== Theorem 1 adversary: %d stages ==\n", stages)
-	opt := flp.AdversaryOptions{Stages: stages}
+	opt := flp.AdversaryOptions{Stages: stages, Workers: workers}
 	if unbounded {
 		probe := flp.ProbeOptions{}
 		opt.Probe = &probe
@@ -191,7 +192,7 @@ func findBivalent(pr flp.Protocol, opt flp.CheckOptions, unbounded bool) (*flp.C
 		if err != nil {
 			return nil, nil, false
 		}
-		if flp.ClassifySmart(pr, c, flp.CheckOptions{MaxConfigs: 2000}, flp.ProbeOptions{}).Valency == flp.Bivalent {
+		if flp.ClassifySmart(pr, c, flp.CheckOptions{MaxConfigs: 2000, Workers: opt.Workers}, flp.ProbeOptions{}).Valency == flp.Bivalent {
 			return c, in, true
 		}
 	}

@@ -45,6 +45,12 @@ type Options struct {
 	// Probe, when non-nil, enables directed-run bivalence certification
 	// (required for protocols with unbounded reachable sets).
 	Probe *explore.ProbeOptions
+	// Workers, when nonzero, sets the exploration worker count for both
+	// the per-stage search and the valency classifications (unless those
+	// Options name their own). The construction is deterministic for any
+	// worker count: every stage commits the same event via the same
+	// schedule σ.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -56,6 +62,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Valency.MaxConfigs <= 0 {
 		o.Valency.MaxConfigs = 20000
+	}
+	if o.Workers != 0 {
+		if o.Search.Workers == 0 {
+			o.Search.Workers = o.Workers
+		}
+		if o.Valency.Workers == 0 {
+			o.Valency.Workers = o.Workers
+		}
 	}
 	return o
 }

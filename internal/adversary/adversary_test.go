@@ -255,3 +255,35 @@ func TestResultAccessors(t *testing.T) {
 		t.Errorf("per-process steps sum %d != %d", total, res.Steps())
 	}
 }
+
+// TestAdversaryDeterministicAcrossWorkers pins the parallel-engine
+// contract at the adversary layer: the staged construction must commit the
+// same events via the same schedules — and reach the same final
+// configuration — for any exploration worker count.
+func TestAdversaryDeterministicAcrossWorkers(t *testing.T) {
+	pr := protocols.NewPaxosSynod(3)
+	run := func(workers int) *adversary.Result {
+		opt := paxosOptions(6)
+		opt.Workers = workers
+		adv := adversary.New(pr, opt)
+		res, err := adv.RunFromInputs(model.Inputs{0, 1, 1})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	seq := run(1)
+	for _, w := range []int{4, 8} {
+		par := run(w)
+		if seq.Schedule.String() != par.Schedule.String() {
+			t.Errorf("workers=%d: schedule diverged\n sequential: %s\n parallel:   %s",
+				w, seq.Schedule, par.Schedule)
+		}
+		if !seq.Final.Equal(par.Final) {
+			t.Errorf("workers=%d: final configuration diverged", w)
+		}
+		if len(seq.Stages) != len(par.Stages) {
+			t.Errorf("workers=%d: stage count %d, sequential %d", w, len(par.Stages), len(seq.Stages))
+		}
+	}
+}

@@ -107,10 +107,14 @@ func (b *Builder) StrSet(set map[string]bool) *Builder {
 // String returns the accumulated key.
 func (b *Builder) String() string { return b.sb.String() }
 
+// escaper rewrites the separator characters; built once — a
+// strings.Replacer compiles its lookup table lazily on first use and is
+// safe for concurrent use, and Escape runs on every key construction.
+var escaper = strings.NewReplacer("\\", "\\\\", Sep, "\\p", listSep, "\\c")
+
 // Escape makes an arbitrary string safe for use as a key field by escaping
 // the separator characters. It is injective: distinct inputs produce
 // distinct outputs.
 func Escape(s string) string {
-	r := strings.NewReplacer("\\", "\\\\", Sep, "\\p", listSep, "\\c")
-	return r.Replace(s)
+	return escaper.Replace(s)
 }

@@ -1,0 +1,166 @@
+package explore_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+)
+
+// The parallel engine's contract is byte-identical results for every
+// worker count. These differential tests pin that contract for each seed
+// protocol: every report the checker stack produces must be deeply equal
+// between Workers: 1 (the sequential oracle) and Workers: 8, including
+// witness schedules, visit counts, and truncation flags.
+
+// determinismCases covers every seed protocol. Unbounded state spaces
+// (paxos, benor) and large finite ones (3pc, onethird) run under a budget,
+// which additionally exercises truncation determinism at the boundary.
+func determinismCases(t *testing.T) []struct {
+	name string
+	pr   model.Protocol
+	opt  explore.Options
+} {
+	t.Helper()
+	mk := func(name string, n int) model.Protocol {
+		factory, ok := protocols.Lookup(name)
+		if !ok {
+			t.Fatalf("protocol %q not registered", name)
+		}
+		pr, err := factory(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+	return []struct {
+		name string
+		pr   model.Protocol
+		opt  explore.Options
+	}{
+		{"trivial0", mk("trivial0", 3), explore.Options{}},
+		{"waitall", mk("waitall", 3), explore.Options{}},
+		{"naivemajority", mk("naivemajority", 3), explore.Options{}},
+		{"2pc", mk("2pc", 3), explore.Options{}},
+		{"3pc-budget", mk("3pc", 3), explore.Options{MaxConfigs: 2000}},
+		{"paxos-budget", mk("paxos", 3), explore.Options{MaxConfigs: 600}},
+		{"benor-budget", mk("benor", 3), explore.Options{MaxConfigs: 600}},
+		{"naivemajority-depth4", mk("naivemajority", 3), explore.Options{MaxDepth: 4}},
+		{"naivemajority-budget137", mk("naivemajority", 3), explore.Options{MaxConfigs: 137}},
+	}
+}
+
+func withWorkers(opt explore.Options, w int) explore.Options {
+	opt.Workers = w
+	return opt
+}
+
+func TestParallelCountReachableMatchesSequential(t *testing.T) {
+	for _, tc := range determinismCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			c := model.MustInitial(tc.pr, model.Inputs{0, 1, 1})
+			seqCount, seqExact := explore.CountReachable(tc.pr, c, withWorkers(tc.opt, 1))
+			parCount, parExact := explore.CountReachable(tc.pr, c, withWorkers(tc.opt, 8))
+			if seqCount != parCount || seqExact != parExact {
+				t.Errorf("CountReachable diverged: sequential (%d, %v), 8 workers (%d, %v)",
+					seqCount, seqExact, parCount, parExact)
+			}
+		})
+	}
+}
+
+func TestParallelValencyMatchesSequential(t *testing.T) {
+	for _, tc := range determinismCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, in := range model.AllInputs(tc.pr.N()) {
+				c := model.MustInitial(tc.pr, in)
+				seq := explore.Classify(tc.pr, c, withWorkers(tc.opt, 1))
+				par := explore.Classify(tc.pr, c, withWorkers(tc.opt, 8))
+				if !reflect.DeepEqual(seq, par) {
+					t.Errorf("inputs %s: ValencyInfo diverged:\n sequential: %+v\n 8 workers:  %+v", in, seq, par)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelPartialCorrectnessMatchesSequential(t *testing.T) {
+	for _, tc := range determinismCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, err := explore.CheckPartialCorrectness(tc.pr, withWorkers(tc.opt, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := explore.CheckPartialCorrectness(tc.pr, withWorkers(tc.opt, 8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("PartialCorrectnessReport diverged:\n sequential: %+v\n 8 workers:  %+v", seq, par)
+			}
+		})
+	}
+}
+
+// TestParallelLemma3MatchesSequential pins the frontier census — the
+// primitive under the Theorem 1 adversary — across worker counts,
+// including the witness schedule Sigma.
+func TestParallelLemma3MatchesSequential(t *testing.T) {
+	pr := protocols.NewNaiveMajority(3)
+	c, _, ok := explore.FindBivalentInitial(pr, explore.Options{Workers: 1})
+	if !ok {
+		t.Fatal("no bivalent initial configuration")
+	}
+	for _, e := range model.Events(c) {
+		if e.IsNull() && model.IsNoOp(pr, c, e) {
+			continue
+		}
+		seq, err := explore.CensusLemma3(pr, c, e, explore.Options{Workers: 1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := explore.CensusLemma3(pr, c, e, explore.Options{Workers: 8}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("event %s: Lemma3Result diverged:\n sequential: %+v\n 8 workers:  %+v", e, seq, par)
+		}
+	}
+}
+
+// TestParallelExploreOrderMatchesSequential compares the raw visit
+// streams: configuration keys, depths, and reconstructed paths must agree
+// position by position, which is stronger than any aggregate report.
+func TestParallelExploreOrderMatchesSequential(t *testing.T) {
+	type step struct {
+		key   string
+		depth int
+		path  string
+	}
+	pr := protocols.NewNaiveMajority(3)
+	c := model.MustInitial(pr, model.Inputs{0, 1, 1})
+	stream := func(workers int) []step {
+		var out []step
+		explore.Explore(pr, c, explore.Options{MaxConfigs: 600, Workers: workers}, nil,
+			func(cfg *model.Config, depth int, path func() model.Schedule) bool {
+				out = append(out, step{key: cfg.Key(), depth: depth, path: path().String()})
+				return false
+			})
+		return out
+	}
+	seq := stream(1)
+	for _, w := range []int{2, 3, 8} {
+		par := stream(w)
+		if len(seq) != len(par) {
+			t.Fatalf("workers=%d: visit count %d, sequential %d", w, len(par), len(seq))
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Fatalf("workers=%d: visit %d diverged:\n sequential: %+v\n parallel:   %+v", w, i, seq[i], par[i])
+			}
+		}
+	}
+}

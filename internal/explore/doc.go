@@ -26,4 +26,31 @@
 // new configurations, so no reachable configuration is lost. Duplicate
 // message copies are interchangeable under multiset semantics, so event
 // enumeration per distinct message is exhaustive.
+//
+// # Parallel exploration
+//
+// [Options.Workers] selects the engine: <= 1 runs the classic sequential
+// loop, > 1 (the default is GOMAXPROCS) runs a level-synchronous parallel
+// BFS. Each frontier level is a contiguous slice of the node array; workers
+// expand nodes concurrently — event enumeration, no-op filtering, successor
+// application, and hash precomputation are all pure — and a single
+// coordinator then merges the per-node successor lists back in canonical
+// (node index, event order) order. Because visiting, deduplication,
+// budgeting, and witness selection all happen on the coordinator in that
+// fixed order, every observable — the visit stream, reachable counts,
+// truncation flags, valency witnesses, reports — is byte-identical at every
+// worker count. The differential tests in this package pin that contract.
+//
+// Deduplication uses [model.Interner]: a sharded table keyed by the cached
+// 64-bit FNV-1a hash of the canonical key, with hash hits confirmed by full
+// key comparison, so a hash collision can only cost time, never a wrong
+// dedup. The expensive canonical-key construction happens inside the
+// workers; the coordinator mostly compares cached hashes.
+//
+// Tuning: worker counts above GOMAXPROCS only add coordination overhead,
+// and tiny state spaces (the commit protocols' 12–20 configurations) are
+// faster sequentially — set Workers: 1 there, or when single-threaded
+// reproducibility of *timing* (not results; those never vary) matters.
+// Valency caches ([NewCache], [NewSmartCache]) are safe for concurrent use;
+// see the Cache type's thread-safety contract.
 package explore

@@ -1,5 +1,7 @@
 package explore
 
+import "runtime"
+
 // Options bound an exploration. The zero value is usable: defaults are
 // applied by the entry points.
 type Options struct {
@@ -10,6 +12,13 @@ type Options struct {
 	MaxConfigs int
 	// MaxDepth bounds the schedule length explored; 0 means unlimited.
 	MaxDepth int
+	// Workers is the number of goroutines expanding frontier nodes.
+	// 0 (the default) means runtime.GOMAXPROCS(0); 1 or a negative value
+	// forces the sequential engine. Any worker count produces byte-
+	// identical results — same visit order, same counts, same witness
+	// schedules — because successors are merged into the frontier in
+	// canonical event order by a single coordinator (see doc.go).
+	Workers int
 }
 
 // DefaultMaxConfigs is the per-exploration budget applied when
@@ -19,6 +28,9 @@ const DefaultMaxConfigs = 200000
 func (o Options) withDefaults() Options {
 	if o.MaxConfigs <= 0 {
 		o.MaxConfigs = DefaultMaxConfigs
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }

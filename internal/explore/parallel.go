@@ -1,0 +1,53 @@
+package explore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// expandLevel runs expand over every node of one breadth-first level on a
+// pool of workers and returns the successor lists indexed like level.
+// Expansion is pure, so the only coordination is work distribution: an
+// atomic cursor hands out node indices, which keeps fast workers busy when
+// node costs are uneven. A panic in any worker (a protocol contract
+// violation surfacing through MustApply) is re-raised on the caller's
+// goroutine once the pool has drained, matching the sequential engine's
+// behaviour.
+func expandLevel(level []node, expand func(node) []succ, workers int) [][]succ {
+	out := make([][]succ, len(level))
+	if len(level) == 1 {
+		out[0] = expand(level[0])
+		return out
+	}
+	if workers > len(level) {
+		workers = len(level)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	panics := make([]any, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[w] = r
+				}
+			}()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(level) {
+					return
+				}
+				out[i] = expand(level[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package explore_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+)
+
+// TestCacheConcurrentStress hammers one shared valency Cache from many
+// goroutines over an overlapping working set, interleaving Classify with
+// the Stats and Len accessors. Every goroutine must observe the exact
+// ValencyInfo the sequential oracle computes, and the counters must
+// reconcile: hits + misses == lookups, Len <= distinct configurations.
+// Run under -race (see the Makefile's test-race target) this is the
+// package's data-race probe for the cache and the Config key/hash
+// atomics.
+func TestCacheConcurrentStress(t *testing.T) {
+	pr := protocols.NewNaiveMajority(3)
+	var cfgs []*model.Config
+	explore.Explore(pr, model.MustInitial(pr, model.Inputs{0, 1, 1}),
+		explore.Options{MaxConfigs: 30, Workers: 1}, nil,
+		func(cfg *model.Config, _ int, _ func() model.Schedule) bool {
+			cfgs = append(cfgs, cfg)
+			return false
+		})
+	if len(cfgs) < 10 {
+		t.Fatalf("only %d configurations collected", len(cfgs))
+	}
+
+	opt := explore.Options{MaxConfigs: 3000, Workers: 1}
+	want := make([]explore.ValencyInfo, len(cfgs))
+	for i, c := range cfgs {
+		want[i] = explore.Classify(pr, c, opt)
+	}
+
+	cache := explore.NewCache(pr, opt)
+	goroutines := 8
+	rounds := 6
+	if testing.Short() {
+		goroutines, rounds = 4, 2
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				for i := range cfgs {
+					j := (i + g*5) % len(cfgs)
+					got := cache.Classify(cfgs[j])
+					if !reflect.DeepEqual(got, want[j]) {
+						t.Errorf("goroutine %d: config %d classified %+v, sequential oracle %+v", g, j, got, want[j])
+						return
+					}
+					cache.Stats()
+					cache.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	hits, misses := cache.Stats()
+	lookups := goroutines * rounds * len(cfgs)
+	if hits+misses != lookups {
+		t.Errorf("hits %d + misses %d != lookups %d", hits, misses, lookups)
+	}
+	if misses < len(cfgs) {
+		t.Errorf("misses %d < distinct configurations %d", misses, len(cfgs))
+	}
+	if cache.Len() != len(cfgs) {
+		t.Errorf("cache Len = %d, want %d distinct configurations", cache.Len(), len(cfgs))
+	}
+}
+
+// TestSmartCacheConcurrent repeats the stress on a probe-backed cache with
+// an unbounded protocol, covering the ClassifySmart path under
+// concurrency.
+func TestSmartCacheConcurrent(t *testing.T) {
+	pr := protocols.NewPaxosSynod(3)
+	cache := explore.NewSmartCache(pr, explore.Options{MaxConfigs: 300, Workers: 1}, explore.ProbeOptions{})
+	var cfgs []*model.Config
+	for _, in := range model.AllInputs(3) {
+		cfgs = append(cfgs, model.MustInitial(pr, in))
+	}
+	want := make([]explore.ValencyInfo, len(cfgs))
+	for i, c := range cfgs {
+		want[i] = explore.ClassifySmart(pr, c, explore.Options{MaxConfigs: 300, Workers: 1}, explore.ProbeOptions{})
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range cfgs {
+				j := (i + g) % len(cfgs)
+				got := cache.Classify(cfgs[j])
+				if got.Valency != want[j].Valency || got.Exact != want[j].Exact {
+					t.Errorf("goroutine %d: config %d classified (%s, exact=%v), oracle (%s, exact=%v)",
+						g, j, got.Valency, got.Exact, want[j].Valency, want[j].Exact)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if cache.Len() != len(cfgs) {
+		t.Errorf("cache Len = %d, want %d", cache.Len(), len(cfgs))
+	}
+}

@@ -8,6 +8,11 @@ import (
 // breadth-first order, starting with the root itself at depth 0. path
 // reconstructs the schedule from the root to this configuration on demand.
 // Returning stop=true ends the exploration early.
+//
+// Visit callbacks are always invoked from a single goroutine (the
+// exploration coordinator), in deterministic breadth-first order,
+// regardless of Options.Workers; they may freely mutate caller state
+// without synchronization.
 type Visit func(cfg *model.Config, depth int, path func() model.Schedule) (stop bool)
 
 // Explore performs budgeted breadth-first reachability from c under
@@ -25,21 +30,41 @@ func Explore(pr model.Protocol, c *model.Config, opt Options, avoid *model.Event
 	return ExploreFiltered(pr, c, opt, skip, visit)
 }
 
+// node is one entry of the breadth-first frontier. Parent links let path
+// reconstruction walk back to the root without storing schedules.
+type node struct {
+	cfg    *model.Config
+	depth  int
+	parent int
+	via    model.Event
+}
+
+// succ is one successor produced by expanding a node, before deduplication.
+type succ struct {
+	via model.Event
+	cfg *model.Config
+}
+
 // ExploreFiltered is Explore with an arbitrary event filter: events for
 // which skip returns true are never applied. A nil skip admits everything.
 // The Lemma 2 proof walk uses it to explore runs in which a whole process
 // takes no steps.
+//
+// With Options.Workers > 1, node expansion — event enumeration, protocol
+// steps, and successor fingerprinting, the dominant costs — runs on a
+// worker pool one breadth-first level at a time, while a single
+// coordinator merges successors into the frontier in canonical order.
+// Results are byte-identical to the sequential engine. skip must be safe
+// for concurrent calls (the filters used by the checkers are pure
+// functions of the event); pr must honour the Protocol contract of being
+// deterministic and side-effect free, which also makes it safe to call
+// from several workers.
 func ExploreFiltered(pr model.Protocol, c *model.Config, opt Options, skip func(model.Event) bool, visit Visit) (complete bool, visited int) {
 	opt = opt.withDefaults()
 
-	type node struct {
-		cfg    *model.Config
-		depth  int
-		parent int
-		via    model.Event
-	}
 	nodes := []node{{cfg: c, depth: 0, parent: -1}}
-	seen := map[string]bool{c.Key(): true}
+	seen := model.NewInterner()
+	seen.Intern(c)
 
 	pathOf := func(i int) func() model.Schedule {
 		return func() model.Schedule {
@@ -56,16 +81,15 @@ func ExploreFiltered(pr model.Protocol, c *model.Config, opt Options, skip func(
 		}
 	}
 
-	truncated := false
-	for i := 0; i < len(nodes); i++ {
-		n := nodes[i]
-		if visit != nil && visit(n.cfg, n.depth, pathOf(i)) {
-			return false, len(nodes)
-		}
+	// expand computes the successors of one node: applicable events after
+	// filtering, each applied to produce the successor configuration with
+	// its fingerprint precomputed. It is a pure function of the node, so
+	// workers may run it ahead of the coordinator without changing results.
+	expand := func(n node) []succ {
 		if opt.MaxDepth > 0 && n.depth >= opt.MaxDepth {
-			truncated = true
-			continue
+			return nil
 		}
+		var out []succ
 		for _, e := range model.Events(n.cfg) {
 			if skip != nil && skip(e) {
 				continue
@@ -74,16 +98,99 @@ func ExploreFiltered(pr model.Protocol, c *model.Config, opt Options, skip func(
 				continue
 			}
 			nc := model.MustApply(pr, n.cfg, e)
-			k := nc.Key()
-			if seen[k] {
+			nc.Hash() // fingerprint (and canonical key) off the merge path
+			out = append(out, succ{via: e, cfg: nc})
+		}
+		return out
+	}
+
+	truncated := false
+	// merge folds one node's successors into the frontier: first-seen
+	// configurations are appended in canonical event order until the
+	// budget is reached. Only the coordinator calls merge, so frontier
+	// growth — and therefore node indices, paths, and truncation — is
+	// deterministic for every worker count.
+	merge := func(parent int, succs []succ) {
+		for _, s := range succs {
+			if _, fresh := seen.Intern(s.cfg); !fresh {
 				continue
 			}
 			if len(nodes) >= opt.MaxConfigs {
 				truncated = true
 				break
 			}
-			seen[k] = true
-			nodes = append(nodes, node{cfg: nc, depth: n.depth + 1, parent: i, via: e})
+			nodes = append(nodes, node{cfg: s.cfg, depth: nodes[parent].depth + 1, parent: parent, via: s.via})
+		}
+	}
+
+	// Once the budget has been exceeded the frontier can never grow again,
+	// so expansion is pure waste. (len == MaxConfigs alone is not enough:
+	// an exactly-full frontier must still expand to learn whether a fresh
+	// successor exists, which is what distinguishes complete from
+	// truncated.)
+	sealed := func() bool { return truncated && len(nodes) >= opt.MaxConfigs }
+
+	if opt.Workers <= 1 {
+		// Sequential engine: expansion and merging are fused so the event
+		// loop can break the moment a fresh successor overflows the budget,
+		// skipping the protocol steps and fingerprints for the rest of the
+		// node's events.
+		for i := 0; i < len(nodes); i++ {
+			n := nodes[i]
+			if visit != nil && visit(n.cfg, n.depth, pathOf(i)) {
+				return false, len(nodes)
+			}
+			if opt.MaxDepth > 0 && n.depth >= opt.MaxDepth {
+				truncated = true
+				continue
+			}
+			if sealed() {
+				continue
+			}
+			for _, e := range model.Events(n.cfg) {
+				if skip != nil && skip(e) {
+					continue
+				}
+				if e.IsNull() && model.IsNoOp(pr, n.cfg, e) {
+					continue
+				}
+				nc := model.MustApply(pr, n.cfg, e)
+				if _, fresh := seen.Intern(nc); !fresh {
+					continue
+				}
+				if len(nodes) >= opt.MaxConfigs {
+					truncated = true
+					break
+				}
+				nodes = append(nodes, node{cfg: nc, depth: n.depth + 1, parent: i, via: e})
+			}
+		}
+		return !truncated, len(nodes)
+	}
+
+	// Parallel engine: breadth-first levels are contiguous index ranges
+	// (successors always land after every node of the current depth), so
+	// each level [start, end) is expanded by the worker pool as a whole,
+	// then visited and merged in index order. Workers may expand nodes the
+	// budget will discard (the level is speculated as a whole); that slack
+	// is bounded by one level and never reaches an observable.
+	for start, end := 0, 1; start < end; start, end = end, len(nodes) {
+		var exps [][]succ
+		if !sealed() {
+			exps = expandLevel(nodes[start:end], expand, opt.Workers)
+		}
+		for i := start; i < end; i++ {
+			n := nodes[i]
+			if visit != nil && visit(n.cfg, n.depth, pathOf(i)) {
+				return false, len(nodes)
+			}
+			if opt.MaxDepth > 0 && n.depth >= opt.MaxDepth {
+				truncated = true
+				continue
+			}
+			if exps != nil {
+				merge(i, exps[i-start])
+			}
 		}
 	}
 	return !truncated, len(nodes)
@@ -92,11 +199,10 @@ func ExploreFiltered(pr model.Protocol, c *model.Config, opt Options, skip func(
 // Reachable reports whether target is reachable from c (by configuration
 // key equality), returning a witness schedule when it is.
 func Reachable(pr model.Protocol, c, target *model.Config, opt Options) (model.Schedule, bool) {
-	tk := target.Key()
 	var witness model.Schedule
 	found := false
 	Explore(pr, c, opt, nil, func(cfg *model.Config, _ int, path func() model.Schedule) bool {
-		if cfg.Key() == tk {
+		if cfg.Equal(target) {
 			witness = path()
 			found = true
 			return true

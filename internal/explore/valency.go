@@ -2,6 +2,8 @@ package explore
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/flpsim/flp/internal/model"
 )
@@ -136,21 +138,55 @@ func Classify(pr model.Protocol, c *model.Config, opt Options) ValencyInfo {
 	return info
 }
 
-// Cache memoizes valency classifications by configuration key. All entries
-// in one cache must be produced with the same Options for the memoization
-// to be meaningful; Cache enforces that by carrying the Options itself.
+// cacheShardCount is the number of independently locked shards of a
+// Cache; a power of two so shard selection is a mask.
+const cacheShardCount = 32
+
+// Cache memoizes valency classifications by configuration identity,
+// resolved by 64-bit fingerprint with canonical-key confirmation. All
+// entries in one cache must be produced with the same Options for the
+// memoization to be meaningful; Cache enforces that by carrying the
+// Options itself.
+//
+// Thread-safety contract: every method is safe for concurrent use. The
+// entry table is sharded by configuration fingerprint and the hit/miss
+// counters are atomic. Classification itself runs outside the shard
+// locks, so concurrent Classify calls for the same configuration may each
+// compute the result; classification is deterministic, the computed
+// results are identical, and the first store wins, so all callers observe
+// one canonical ValencyInfo. A concurrent compute that loses the store
+// race still counts as a miss in Stats — misses count classifications
+// performed, hits count lookups answered from memory.
 type Cache struct {
-	pr      model.Protocol
-	opt     Options
-	probe   *ProbeOptions
-	entries map[string]ValencyInfo
-	hits    int
-	misses  int
+	pr     model.Protocol
+	opt    Options
+	probe  *ProbeOptions
+	shards [cacheShardCount]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[uint64][]cacheEntry
+}
+
+type cacheEntry struct {
+	key  string
+	info ValencyInfo
+}
+
+func newCache(pr model.Protocol, opt Options, probe *ProbeOptions) *Cache {
+	vc := &Cache{pr: pr, opt: opt.withDefaults(), probe: probe}
+	for i := range vc.shards {
+		vc.shards[i].entries = make(map[uint64][]cacheEntry)
+	}
+	return vc
 }
 
 // NewCache returns a valency cache for pr with a fixed exploration budget.
 func NewCache(pr model.Protocol, opt Options) *Cache {
-	return &Cache{pr: pr, opt: opt.withDefaults(), entries: make(map[string]ValencyInfo)}
+	return newCache(pr, opt, nil)
 }
 
 // NewSmartCache returns a cache that classifies via ClassifySmart: probe
@@ -159,29 +195,60 @@ func NewCache(pr model.Protocol, opt Options) *Cache {
 // state spaces.
 func NewSmartCache(pr model.Protocol, opt Options, popt ProbeOptions) *Cache {
 	p := popt.withDefaults()
-	return &Cache{pr: pr, opt: opt.withDefaults(), probe: &p, entries: make(map[string]ValencyInfo)}
+	return newCache(pr, opt, &p)
 }
 
 // Classify returns the memoized classification of c.
 func (vc *Cache) Classify(c *model.Config) ValencyInfo {
-	k := c.Key()
-	if info, ok := vc.entries[k]; ok {
-		vc.hits++
-		return info
+	h := c.Hash()
+	sh := &vc.shards[h&(cacheShardCount-1)]
+	key := c.Key()
+
+	sh.mu.Lock()
+	for _, e := range sh.entries[h] {
+		if e.key == key {
+			sh.mu.Unlock()
+			vc.hits.Add(1)
+			return e.info
+		}
 	}
-	vc.misses++
+	sh.mu.Unlock()
+
+	vc.misses.Add(1)
 	var info ValencyInfo
 	if vc.probe != nil {
 		info = ClassifySmart(vc.pr, c, vc.opt, *vc.probe)
 	} else {
 		info = Classify(vc.pr, c, vc.opt)
 	}
-	vc.entries[k] = info
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, e := range sh.entries[h] {
+		if e.key == key {
+			return e.info // a concurrent classification stored first
+		}
+	}
+	sh.entries[h] = append(sh.entries[h], cacheEntry{key: key, info: info})
 	return info
 }
 
-// Stats returns cache hit/miss counters.
-func (vc *Cache) Stats() (hits, misses int) { return vc.hits, vc.misses }
+// Stats returns cache hit/miss counters. Safe for concurrent use.
+func (vc *Cache) Stats() (hits, misses int) {
+	return int(vc.hits.Load()), int(vc.misses.Load())
+}
 
-// Len returns the number of memoized configurations.
-func (vc *Cache) Len() int { return len(vc.entries) }
+// Len returns the number of memoized configurations. Safe for concurrent
+// use.
+func (vc *Cache) Len() int {
+	n := 0
+	for i := range vc.shards {
+		sh := &vc.shards[i]
+		sh.mu.Lock()
+		for _, es := range sh.entries {
+			n += len(es)
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}

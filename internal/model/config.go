@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"github.com/flpsim/flp/internal/enc"
 )
@@ -10,10 +11,16 @@ import (
 // Config is a configuration of the system: the internal state of each
 // process together with the contents of the message buffer. Configurations
 // are immutable once constructed; Apply produces new configurations.
+//
+// The canonical key and the 64-bit fingerprint are computed lazily and
+// cached through atomics, so a Config may be shared freely across
+// goroutines (the parallel explorer does). Concurrent computations of the
+// same key are idempotent; the last store wins and all stores are equal.
 type Config struct {
 	states []State
 	buf    *Buffer
-	key    string // lazily computed canonical key
+	key    atomic.Pointer[string] // lazily computed canonical key
+	hash   atomic.Uint64          // lazily computed fingerprint; 0 = unset
 }
 
 // Initial returns the initial configuration of pr for the given input
@@ -118,20 +125,66 @@ func (c *Config) DecidedCount() int {
 
 // Key returns the canonical encoding of the configuration. Two
 // configurations represent the same system state iff their keys are equal.
+// Key is safe for concurrent use.
 func (c *Config) Key() string {
-	if c.key == "" {
-		var b enc.Builder
-		for _, s := range c.states {
-			b.Str(enc.Escape(s.Key()))
-		}
-		b.Str(enc.Escape(c.buf.Key()))
-		c.key = b.String()
+	if k := c.key.Load(); k != nil {
+		return *k
 	}
-	return c.key
+	var b enc.Builder
+	for _, s := range c.states {
+		b.Str(enc.Escape(s.Key()))
+	}
+	b.Str(enc.Escape(c.buf.Key()))
+	k := b.String()
+	c.key.Store(&k)
+	return k
 }
 
-// Equal reports whether two configurations are the same system state.
-func (c *Config) Equal(o *Config) bool { return c.Key() == o.Key() }
+// FNV-1a constants, used for the configuration fingerprint.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Hash returns a 64-bit fingerprint of the configuration: the FNV-1a hash
+// of its canonical key. Equal configurations always have equal hashes;
+// unequal configurations collide only with fingerprint probability, and
+// every user of the hash (Equal, Interner, the explorer's visited set)
+// confirms candidate matches against the full canonical key, so a
+// collision can never conflate two distinct system states. Hash is cached
+// and safe for concurrent use.
+func (c *Config) Hash() uint64 {
+	if h := c.hash.Load(); h != 0 {
+		return h
+	}
+	h := fnvString(fnvOffset64, c.Key())
+	if h == 0 {
+		h = fnvOffset64 // reserve 0 as the "unset" sentinel
+	}
+	c.hash.Store(h)
+	return h
+}
+
+// Equal reports whether two configurations are the same system state. The
+// cached fingerprints are compared first; the canonical keys settle the
+// (vanishingly rare) fingerprint collisions.
+func (c *Config) Equal(o *Config) bool {
+	if c == o {
+		return true
+	}
+	if c.Hash() != o.Hash() {
+		return false
+	}
+	return c.Key() == o.Key()
+}
 
 // String renders the configuration compactly for traces.
 func (c *Config) String() string {

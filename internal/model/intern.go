@@ -1,0 +1,94 @@
+package model
+
+import "sync"
+
+// internShardCount is the number of independently locked shards of an
+// Interner. It is a power of two so shard selection is a mask of the
+// fingerprint's low bits.
+const internShardCount = 64
+
+// Interner assigns stable small integer identities to configurations: two
+// configurations receive the same ID iff they are Equal. Identity is
+// resolved by the 64-bit configuration fingerprint with every candidate
+// match confirmed against the full canonical key, so fingerprint
+// collisions cost a string comparison, never correctness.
+//
+// The interner is the explorer's visited set: Intern reports whether the
+// configuration was fresh (seen for the first time), replacing the hot
+// per-lookup hashing of long canonical-key strings with cached 64-bit
+// fingerprints.
+//
+// Interner is safe for concurrent use; the table is sharded by fingerprint
+// so that concurrent interning of unrelated configurations rarely contends
+// on a lock. IDs are unique across shards and reflect interning order only
+// within a shard.
+type Interner struct {
+	shards [internShardCount]internShard
+}
+
+type internShard struct {
+	mu      sync.Mutex
+	buckets map[uint64][]internEntry
+	count   uint64
+}
+
+type internEntry struct {
+	key string
+	id  uint64
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	it := &Interner{}
+	for i := range it.shards {
+		it.shards[i].buckets = make(map[uint64][]internEntry)
+	}
+	return it
+}
+
+// Intern returns the ID of c, assigning a fresh one if c was never seen
+// before. fresh reports whether this call was the first to intern a
+// configuration Equal to c.
+func (it *Interner) Intern(c *Config) (id uint64, fresh bool) {
+	h := c.Hash()
+	sh := &it.shards[h&(internShardCount-1)]
+	key := c.Key()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, e := range sh.buckets[h] {
+		if e.key == key {
+			return e.id, false
+		}
+	}
+	id = sh.count*internShardCount + h&(internShardCount-1)
+	sh.count++
+	sh.buckets[h] = append(sh.buckets[h], internEntry{key: key, id: id})
+	return id, true
+}
+
+// Lookup returns the ID of c if it has been interned.
+func (it *Interner) Lookup(c *Config) (id uint64, ok bool) {
+	h := c.Hash()
+	sh := &it.shards[h&(internShardCount-1)]
+	key := c.Key()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, e := range sh.buckets[h] {
+		if e.key == key {
+			return e.id, true
+		}
+	}
+	return 0, false
+}
+
+// Len returns the number of distinct configurations interned.
+func (it *Interner) Len() int {
+	n := uint64(0)
+	for i := range it.shards {
+		sh := &it.shards[i]
+		sh.mu.Lock()
+		n += sh.count
+		sh.mu.Unlock()
+	}
+	return int(n)
+}

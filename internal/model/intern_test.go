@@ -1,0 +1,280 @@
+package model_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+)
+
+// walkFrom drives pr from the given inputs through a walk chosen by the
+// byte string: each byte selects one applicable effectful event. It
+// returns the final configuration.
+func walkFrom(t testing.TB, pr model.Protocol, in model.Inputs, steps []byte) *model.Config {
+	if t != nil {
+		t.Helper()
+	}
+	cfg := model.MustInitial(pr, in)
+	for _, b := range steps {
+		var evs []model.Event
+		for _, e := range model.Events(cfg) {
+			if e.IsNull() && model.IsNoOp(pr, cfg, e) {
+				continue
+			}
+			evs = append(evs, e)
+		}
+		if len(evs) == 0 {
+			break
+		}
+		cfg = model.MustApply(pr, cfg, evs[int(b)%len(evs)])
+	}
+	return cfg
+}
+
+// inputsFrom derives an input assignment for n processes from one byte.
+func inputsFrom(b byte, n int) model.Inputs {
+	in := make(model.Inputs, n)
+	for p := 0; p < n; p++ {
+		if b&(1<<p) != 0 {
+			in[p] = model.V1
+		}
+	}
+	return in
+}
+
+// FuzzConfigKeyHash asserts, for arbitrary pairs of reachable
+// configurations, that the hash/intern layer agrees exactly with canonical
+// string Key equality: Equal(a, b) ⇔ Key(a) == Key(b), Equal implies equal
+// hashes, and the interner assigns equal IDs exactly to Equal
+// configurations.
+func FuzzConfigKeyHash(f *testing.F) {
+	f.Add(byte(3), []byte{0, 1, 2}, byte(3), []byte{2, 1, 0})
+	f.Add(byte(1), []byte{}, byte(1), []byte{})
+	f.Add(byte(5), []byte{0, 0, 4, 9}, byte(2), []byte{7})
+	f.Add(byte(6), []byte{1, 3, 5, 7, 9, 11}, byte(6), []byte{1, 3, 5, 7, 9, 11})
+	f.Fuzz(func(t *testing.T, ina byte, wa []byte, inb byte, wb []byte) {
+		if len(wa) > 64 || len(wb) > 64 {
+			t.Skip("walk too long")
+		}
+		pr := protocols.NewNaiveMajority(3)
+		a := walkFrom(t, pr, inputsFrom(ina, 3), wa)
+		b := walkFrom(t, pr, inputsFrom(inb, 3), wb)
+
+		keyEq := a.Key() == b.Key()
+		if eq := a.Equal(b); eq != keyEq {
+			t.Fatalf("Equal = %v but key equality = %v\n a: %s\n b: %s", eq, keyEq, a.Key(), b.Key())
+		}
+		if keyEq && a.Hash() != b.Hash() {
+			t.Fatalf("equal configurations with different hashes: %#x vs %#x", a.Hash(), b.Hash())
+		}
+
+		it := model.NewInterner()
+		ida, fresha := it.Intern(a)
+		idb, freshb := it.Intern(b)
+		if !fresha {
+			t.Fatal("first Intern not fresh")
+		}
+		if freshb == keyEq {
+			t.Fatalf("Intern(b) fresh = %v with key equality = %v", freshb, keyEq)
+		}
+		if (ida == idb) != keyEq {
+			t.Fatalf("interned IDs %d, %d; equal IDs = %v but key equality = %v", ida, idb, ida == idb, keyEq)
+		}
+		if id, again := it.Intern(a); again || id != ida {
+			t.Fatalf("re-Intern(a) = (%d, %v), want (%d, false)", id, again, ida)
+		}
+		if id, ok := it.Lookup(b); !ok || id != idb {
+			t.Fatalf("Lookup(b) = (%d, %v), want (%d, true)", id, ok, idb)
+		}
+		wantLen := 2
+		if keyEq {
+			wantLen = 1
+		}
+		if it.Len() != wantLen {
+			t.Fatalf("interner Len = %d, want %d", it.Len(), wantLen)
+		}
+	})
+}
+
+// bufferSnapshot captures the live contents of a configuration's buffer so
+// that later mutations through aliased state would be visible.
+func bufferSnapshot(c *model.Config) map[model.Message]int {
+	snap := make(map[model.Message]int)
+	for _, m := range c.Buffer().Messages() {
+		snap[m] = c.Buffer().Count(m)
+	}
+	return snap
+}
+
+func sameSnapshot(a, b map[model.Message]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for m, n := range a {
+		if b[m] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWithStepNoAliasing drives every applicable event out of a family of
+// configurations and checks that producing (and further extending) a
+// successor never mutates the parent or a sibling: states and buffers are
+// copied, not shared. This is the property the interner and the parallel
+// explorer rest on — an interned configuration must never change after the
+// fact.
+func TestWithStepNoAliasing(t *testing.T) {
+	pr := protocols.NewNaiveMajority(3)
+	for _, walk := range [][]byte{{}, {0}, {1, 2}, {0, 3, 1}, {2, 2, 2, 2}, {5, 1, 4, 2, 8}} {
+		parent := walkFrom(t, pr, model.Inputs{0, 1, 1}, walk)
+		parentSnap := bufferSnapshot(parent)
+		parentStates := make([]string, parent.N())
+		for p := 0; p < parent.N(); p++ {
+			parentStates[p] = parent.State(model.PID(p)).Key()
+		}
+
+		// Derive every effectful successor, then extend each successor
+		// further; neither derivation may disturb the parent or siblings.
+		var children []*model.Config
+		var childSnaps []map[model.Message]int
+		for _, e := range model.Events(parent) {
+			if e.IsNull() && model.IsNoOp(pr, parent, e) {
+				continue
+			}
+			child := model.MustApply(pr, parent, e)
+			children = append(children, child)
+			childSnaps = append(childSnaps, bufferSnapshot(child))
+		}
+		for _, child := range children {
+			for _, e := range model.Events(child) {
+				if e.IsNull() && model.IsNoOp(pr, child, e) {
+					continue
+				}
+				model.MustApply(pr, child, e) // grandchildren, discarded
+			}
+		}
+
+		if !sameSnapshot(parentSnap, bufferSnapshot(parent)) {
+			t.Fatalf("walk %v: deriving successors mutated the parent buffer", walk)
+		}
+		for p := 0; p < parent.N(); p++ {
+			if parent.State(model.PID(p)).Key() != parentStates[p] {
+				t.Fatalf("walk %v: deriving successors mutated parent state %d", walk, p)
+			}
+		}
+		for i, child := range children {
+			if !sameSnapshot(childSnaps[i], bufferSnapshot(child)) {
+				t.Fatalf("walk %v: extending one sibling mutated another's buffer", walk)
+			}
+		}
+	}
+}
+
+// TestHashInternAgreementOnReachableSet sweeps a breadth-first prefix of
+// naivemajority's reachable set and checks hash/intern agreement with key
+// equality across every pair, including genuine duplicates reached by
+// different schedules.
+func TestHashInternAgreementOnReachableSet(t *testing.T) {
+	pr := protocols.NewNaiveMajority(3)
+	root := model.MustInitial(pr, model.Inputs{0, 1, 1})
+
+	// Plain breadth-first enumeration, keeping duplicates (capped).
+	queue := []*model.Config{root}
+	var all []*model.Config
+	for len(queue) > 0 && len(all) < 400 {
+		c := queue[0]
+		queue = queue[1:]
+		all = append(all, c)
+		for _, e := range model.Events(c) {
+			if e.IsNull() && model.IsNoOp(pr, c, e) {
+				continue
+			}
+			queue = append(queue, model.MustApply(pr, c, e))
+		}
+	}
+
+	it := model.NewInterner()
+	ids := make([]uint64, len(all))
+	for i, c := range all {
+		ids[i], _ = it.Intern(c)
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			keyEq := all[i].Key() == all[j].Key()
+			if eq := all[i].Equal(all[j]); eq != keyEq {
+				t.Fatalf("configs %d, %d: Equal = %v, key equality = %v", i, j, eq, keyEq)
+			}
+			if (ids[i] == ids[j]) != keyEq {
+				t.Fatalf("configs %d, %d: id equality = %v, key equality = %v", i, j, ids[i] == ids[j], keyEq)
+			}
+			if keyEq && all[i].Hash() != all[j].Hash() {
+				t.Fatalf("configs %d, %d: equal keys, hashes %#x vs %#x", i, j, all[i].Hash(), all[j].Hash())
+			}
+		}
+	}
+	if it.Len() > len(all) {
+		t.Fatalf("interner Len %d exceeds configurations interned %d", it.Len(), len(all))
+	}
+}
+
+// TestInternerConcurrent hammers one interner from many goroutines over an
+// overlapping set of configurations: every goroutine must observe the same
+// ID for the same configuration, and the table must end up with exactly
+// the distinct count. Run under -race this also checks the sharded table's
+// synchronization.
+func TestInternerConcurrent(t *testing.T) {
+	pr := protocols.NewNaiveMajority(3)
+	root := model.MustInitial(pr, model.Inputs{0, 1, 1})
+	var cfgs []*model.Config
+	queue := []*model.Config{root}
+	for len(queue) > 0 && len(cfgs) < 120 {
+		c := queue[0]
+		queue = queue[1:]
+		cfgs = append(cfgs, c)
+		for _, e := range model.Events(c) {
+			if e.IsNull() && model.IsNoOp(pr, c, e) {
+				continue
+			}
+			queue = append(queue, model.MustApply(pr, c, e))
+		}
+	}
+	distinct := make(map[string]bool)
+	for _, c := range cfgs {
+		distinct[c.Key()] = true
+	}
+
+	it := model.NewInterner()
+	const goroutines = 8
+	got := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]uint64, len(cfgs))
+			for round := 0; round < 3; round++ {
+				for i := range cfgs {
+					// Vary traversal order per goroutine (rotation).
+					j := (i + g*17) % len(cfgs)
+					id, _ := it.Intern(cfgs[j])
+					ids[j] = id
+				}
+			}
+			got[g] = ids
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 1; g < goroutines; g++ {
+		for i := range cfgs {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d saw id %d for config %d, goroutine 0 saw %d", g, got[g][i], i, got[0][i])
+			}
+		}
+	}
+	if it.Len() != len(distinct) {
+		t.Fatalf("interner Len = %d, distinct configurations = %d", it.Len(), len(distinct))
+	}
+}
