@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-short fuzz bench bench-parallel vet
+.PHONY: all build test test-race test-short test-dist fuzz bench bench-parallel vet
 
 all: build test
 
@@ -15,8 +15,16 @@ test:
 # The three named packages carry the concurrency stress tests; the final
 # sweep covers the rest of the tree.
 test-race:
-	$(GO) test -race ./internal/explore ./internal/model ./internal/adversary
+	$(GO) test -race ./internal/explore ./internal/model ./internal/adversary ./internal/distexplore
 	$(GO) test -race -short ./...
+
+# The distributed engine end to end: the full differential/fault suite,
+# then a 1-coordinator/3-worker loopback cluster cross-checked against
+# the sequential engine on two protocols.
+test-dist:
+	$(GO) test ./internal/distexplore
+	$(GO) run ./cmd/flpcluster selftest -workers 3 -shards 6 -protocol naivemajority
+	$(GO) run ./cmd/flpcluster selftest -workers 3 -shards 6 -protocol 2pc
 
 test-short:
 	$(GO) test -short ./...

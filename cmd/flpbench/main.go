@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ func main() {
 		scale   = flag.Int("scale", 1, "multiply trial counts")
 		seed    = flag.Int64("seed", 1, "base seed")
 		workers = flag.Int("workers", 0, "exploration workers: sets GOMAXPROCS, the default worker count of every exploration (0 = leave as is)")
+		distout = flag.String("distbench-out", "BENCH_distexplore.json", "file E19 writes its engine-comparison timings to ('' disables)")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -44,7 +46,7 @@ func main() {
 	}
 
 	if *id != "all" {
-		tab, err := experiments.RunByID(*id, sizes)
+		tab, err := runOne(*id, sizes, *distout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flpbench: %v\n", err)
 			os.Exit(1)
@@ -55,7 +57,7 @@ func main() {
 	start := time.Now()
 	for _, r := range experiments.Suite(sizes) {
 		t0 := time.Now()
-		tab, err := r.Run()
+		tab, err := runOne(r.ID, sizes, *distout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flpbench: %s: %v\n", r.ID, err)
 			os.Exit(1)
@@ -64,4 +66,28 @@ func main() {
 		fmt.Printf("  (%s in %v)\n\n", r.ID, time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Printf("suite complete in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runOne dispatches one experiment. E19 is special-cased so its
+// machine-readable engine comparison lands in BENCH_distexplore.json
+// alongside the printed table.
+func runOne(id string, sizes experiments.Sizes, distout string) (*experiments.Table, error) {
+	if id != "E19" {
+		return experiments.RunByID(id, sizes)
+	}
+	tab, bench, err := experiments.E19DistExploreBench()
+	if err != nil {
+		return nil, err
+	}
+	if distout != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(distout, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Printf("  wrote %s\n", distout)
+	}
+	return tab, nil
 }

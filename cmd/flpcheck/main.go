@@ -6,6 +6,7 @@
 //
 //	flpcheck -protocol naivemajority -n 3            # full checker battery
 //	flpcheck -protocol paxos -n 3 -adversary 12      # livelock Paxos for 12 stages
+//	flpcheck -cluster loopback:3                     # cross-check the distributed engine
 //	flpcheck -list                                   # available protocols
 package main
 
@@ -13,9 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"github.com/flpsim/flp"
+	"github.com/flpsim/flp/internal/distexplore"
+	"github.com/flpsim/flp/internal/explore"
 )
 
 func main() {
@@ -27,6 +31,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "exploration workers (0 = GOMAXPROCS, 1 = sequential)")
 		skipL3    = flag.Bool("skip-lemma3", false, "skip the Lemma 3 frontier census")
 		skipAgree = flag.Bool("skip-agreement", false, "skip the partial-correctness audit")
+		cluster   = flag.String("cluster", "", "also run a distributed reachability census: 'loopback:W' spins up W in-process workers; otherwise comma-separated flpcluster worker addresses")
+		shards    = flag.Int("cluster-shards", 0, "visited-set shards for -cluster (0 = one per worker)")
 		list      = flag.Bool("list", false, "list available protocols and exit")
 	)
 	flag.Parse()
@@ -61,6 +67,82 @@ func main() {
 	if *stages > 0 {
 		runAdversary(pr, *stages, *workers, unbounded)
 	}
+	if *cluster != "" {
+		runClusterCensus(pr, *name, *budget, *cluster, *shards, unbounded)
+	}
+}
+
+// runClusterCensus cross-checks the distributed engine against the local
+// one: a per-input reachability census over a worker cluster (in-process
+// loopback or live TCP workers started with `flpcluster worker`) must
+// reproduce the local counts exactly.
+func runClusterCensus(pr flp.Protocol, name string, budget int, spec string, shards int, unbounded bool) {
+	fmt.Println("== Distributed reachability census ==")
+	if unbounded {
+		budget = 2000 // unbounded state spaces get the same bounded sweep as the other sections
+	}
+	tr, addrs, cleanup, err := clusterEndpoints(spec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer cleanup()
+	cl, err := distexplore.Dial(tr, addrs, distexplore.RPCOptions{})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer cl.Close()
+	fmt.Printf("  cluster: %d workers (%s), shards=%d\n", len(addrs), strings.Join(addrs, ", "), shards)
+	for _, in := range flp.AllInputs(pr.N()) {
+		c, err := flp.Initial(pr, in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		localCount, localExact := explore.CountReachable(pr, c, explore.Options{MaxConfigs: budget})
+		count, exact, err := cl.CountReachable(distexplore.Task{
+			Protocol: name, N: pr.N(), Inputs: in, Shards: shards,
+			Options: explore.Options{MaxConfigs: budget},
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		status := "matches local engine"
+		if count != localCount || exact != localExact {
+			status = fmt.Sprintf("MISMATCH: local engine found %d (exact=%v)", localCount, localExact)
+		}
+		fmt.Printf("  inputs %s: %d configurations (exact=%v) — %s\n", in, count, exact, status)
+	}
+	fmt.Println()
+}
+
+// clusterEndpoints resolves a -cluster spec: "loopback:W" boots W workers
+// inside this process over in-memory pipes; anything else is a
+// comma-separated list of TCP worker addresses.
+func clusterEndpoints(spec string) (distexplore.Transport, []string, func(), error) {
+	if w, ok := strings.CutPrefix(spec, "loopback:"); ok {
+		n, err := strconv.Atoi(w)
+		if err != nil || n < 1 {
+			return nil, nil, nil, fmt.Errorf("bad -cluster spec %q: want loopback:<workers>", spec)
+		}
+		lb := distexplore.NewLoopback()
+		var addrs []string
+		var listeners []distexplore.Listener
+		for i := 0; i < n; i++ {
+			l, err := lb.Listen(fmt.Sprintf("flpcheck-w%d", i))
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			listeners = append(listeners, l)
+			go distexplore.NewWorker(nil).Serve(l)
+			addrs = append(addrs, l.Addr())
+		}
+		cleanup := func() {
+			for _, l := range listeners {
+				l.Close()
+			}
+		}
+		return lb, addrs, cleanup, nil
+	}
+	return distexplore.TCP{}, strings.Split(spec, ","), func() {}, nil
 }
 
 func runLemma2(pr flp.Protocol, opt flp.CheckOptions, unbounded bool) {

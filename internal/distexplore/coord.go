@@ -1,0 +1,493 @@
+package distexplore
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+)
+
+// RPCOptions tune the coordinator's client behaviour. The zero value is
+// usable.
+type RPCOptions struct {
+	// RPCTimeout is the deadline for one request/response round trip,
+	// including the worker's compute time. Default 2m.
+	RPCTimeout time.Duration
+	// DialTimeout bounds each connection attempt. Default 10s.
+	DialTimeout time.Duration
+	// Retries is how many times a transiently failed RPC is re-sent (with
+	// a fresh connection) before the worker is declared lost. Worker-
+	// reported errors are permanent and never retried. Default 2.
+	Retries int
+	// RetryBackoff is slept before the first retry and doubles on each
+	// subsequent one. Default 50ms.
+	RetryBackoff time.Duration
+	// Provider resolves protocol names at the coordinator; it must agree
+	// with the workers' provider. Default: the built-in registry.
+	Provider ProtocolProvider
+}
+
+func (o RPCOptions) withDefaults() RPCOptions {
+	if o.RPCTimeout <= 0 {
+		o.RPCTimeout = 2 * time.Minute
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.Provider == nil {
+		o.Provider = RegistryProvider
+	}
+	return o
+}
+
+// Task describes one distributed exploration: everything a worker needs to
+// reconstruct the job locally, plus the exploration bounds.
+type Task struct {
+	// Protocol and N name the protocol instance; both coordinator and
+	// workers resolve it through their providers.
+	Protocol string
+	N        int
+	// Inputs are the initial values defining the root configuration.
+	Inputs model.Inputs
+	// Prefix, when non-empty, is applied to the initial configuration to
+	// produce the exploration root (explore-from-C jobs).
+	Prefix model.Schedule
+	// Avoid, when non-nil, suppresses events Same as it (Lemma 3's ℰ).
+	Avoid *model.Event
+	// Shards is the number of hash ranges the visited set is split into;
+	// 0 means one per worker. More shards than workers is valid (shards
+	// are dealt round-robin) and produces identical results.
+	Shards int
+	// Options carries the exploration bounds (MaxConfigs, MaxDepth).
+	// Workers is ignored: in the distributed engine parallelism comes from
+	// worker processes (see explore.Options.Workers for the full
+	// Workers-versus-Shards contract).
+	Options explore.Options
+}
+
+// WorkerError is a failure reported by a worker itself (as opposed to a
+// transport failure): the job is in a broken state and the exploration
+// aborts without retrying.
+type WorkerError struct {
+	Worker int
+	Addr   string
+	Msg    string
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("distexplore: worker %d (%s): %s", e.Worker, e.Addr, e.Msg)
+}
+
+// workerConn is the coordinator's view of one worker: its address and the
+// current connection, re-dialed on demand after failures.
+type workerConn struct {
+	addr string
+	conn net.Conn
+}
+
+// Cluster is a coordinator's handle on a set of workers. It drives the
+// level-synchronous exploration loop: workers expand their owned frontier
+// and answer dedup queries; the cluster merges every level's candidates in
+// canonical order, so results are byte-identical to the in-process engines
+// at any worker and shard count. A Cluster is not safe for concurrent use;
+// run one exploration at a time.
+type Cluster struct {
+	tr      Transport
+	opt     RPCOptions
+	workers []*workerConn
+}
+
+// Dial connects to every worker address eagerly, so a dead cluster member
+// surfaces before any exploration state exists.
+func Dial(tr Transport, addrs []string, opt RPCOptions) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("distexplore: no worker addresses")
+	}
+	cl := &Cluster{tr: tr, opt: opt.withDefaults()}
+	for _, a := range addrs {
+		cl.workers = append(cl.workers, &workerConn{addr: a})
+	}
+	for i := range cl.workers {
+		if err := cl.redial(i); err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// Close drops every worker connection. Worker processes keep running and
+// can serve future coordinators.
+func (cl *Cluster) Close() error {
+	for _, wc := range cl.workers {
+		if wc.conn != nil {
+			wc.conn.Close()
+			wc.conn = nil
+		}
+	}
+	return nil
+}
+
+func (cl *Cluster) redial(w int) error {
+	wc := cl.workers[w]
+	if wc.conn != nil {
+		wc.conn.Close()
+		wc.conn = nil
+	}
+	c, err := cl.tr.Dial(wc.addr, cl.opt.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("distexplore: dialing worker %d (%s): %w", w, wc.addr, err)
+	}
+	wc.conn = c
+	return nil
+}
+
+// call performs one RPC against worker w: bounded retries with exponential
+// backoff and a fresh connection per attempt cover transient transport
+// failures; worker job state plus per-level response caches make the
+// retried request idempotent. A frameErr response is a worker-reported
+// permanent failure. When every attempt fails the worker — and with it an
+// irreplaceable slice of the visited set — is declared lost, and the
+// exploration must abort: that is the diagnostic error returned here.
+func (cl *Cluster) call(w int, typ byte, payload []byte) (byte, []byte, error) {
+	wc := cl.workers[w]
+	var lastErr error
+	backoff := cl.opt.RetryBackoff
+	for attempt := 0; attempt <= cl.opt.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if wc.conn == nil {
+			if lastErr = cl.redial(w); lastErr != nil {
+				continue
+			}
+		}
+		deadline := time.Now().Add(cl.opt.RPCTimeout)
+		if err := writeFrame(wc.conn, deadline, typ, payload); err != nil {
+			lastErr = err
+			wc.conn.Close()
+			wc.conn = nil
+			continue
+		}
+		rtyp, rpayload, err := readFrame(wc.conn, deadline)
+		if err != nil {
+			lastErr = err
+			wc.conn.Close()
+			wc.conn = nil
+			continue
+		}
+		if rtyp == frameErr {
+			return 0, nil, &WorkerError{Worker: w, Addr: wc.addr, Msg: string(rpayload)}
+		}
+		return rtyp, rpayload, nil
+	}
+	return 0, nil, fmt.Errorf(
+		"distexplore: worker %d (%s) lost after %d attempts (%w); its visited-set shards are unrecoverable, aborting exploration",
+		w, wc.addr, cl.opt.Retries+1, lastErr)
+}
+
+// fanout runs f once per worker concurrently (each worker has its own
+// connection, and call serializes per worker) and returns the
+// lowest-indexed error.
+func (cl *Cluster) fanout(f func(w int) error) error {
+	errs := make([]error, len(cl.workers))
+	done := make(chan struct{})
+	for w := range cl.workers {
+		go func(w int) {
+			errs[w] = f(w)
+			done <- struct{}{}
+		}(w)
+	}
+	for range cl.workers {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expectOK runs one RPC and accepts only an empty acknowledgement.
+func (cl *Cluster) expectOK(w int, typ byte, payload []byte) error {
+	rtyp, _, err := cl.call(w, typ, payload)
+	if err != nil {
+		return err
+	}
+	if rtyp != frameOK {
+		return fmt.Errorf("distexplore: worker %d: unexpected response frame 0x%02x", w, rtyp)
+	}
+	return nil
+}
+
+// nodeRec is the coordinator's record of one admitted configuration:
+// enough to reconstruct schedules (parent links) and drive the level loop,
+// without holding the configuration itself — configurations live on the
+// owning workers, and are only materialized here when a visit callback
+// needs them.
+type nodeRec struct {
+	parent int
+	depth  int
+	via    model.Event
+}
+
+// Explore runs the distributed breadth-first exploration described by t
+// and reports exactly what explore.ExploreFiltered would: whether the
+// reachable set was exhausted and how many distinct configurations were
+// visited, with visit called in the identical deterministic order. The
+// error return is the one addition — transport loss or worker failure
+// aborts the run (the visited set cannot be reconstructed from a surviving
+// subset of shards).
+func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited int, err error) {
+	eopt := t.Options.Normalized()
+	W := len(cl.workers)
+	shards := t.Shards
+	if shards <= 0 {
+		shards = W
+	}
+
+	pr, err := cl.opt.Provider(t.Protocol, t.N)
+	if err != nil {
+		return false, 0, err
+	}
+	root, err := model.Initial(pr, t.Inputs)
+	if err != nil {
+		return false, 0, err
+	}
+	if len(t.Prefix) > 0 {
+		if root, err = model.ApplySchedule(pr, root, t.Prefix); err != nil {
+			return false, 0, fmt.Errorf("distexplore: applying root prefix: %w", err)
+		}
+	}
+
+	// Phase 0: install the job on every worker.
+	err = cl.fanout(func(w int) error {
+		req := initReq{
+			Protocol: t.Protocol, N: t.N, Inputs: t.Inputs, Prefix: t.Prefix,
+			Avoid: t.Avoid, Shards: shards, WorkerCount: W, WorkerIndex: w,
+		}
+		return cl.expectOK(w, frameInit, req.encode())
+	})
+	if err != nil {
+		return false, 0, err
+	}
+	// Workers now hold state; tear it down on every exit path.
+	defer cl.shutdown()
+
+	led := explore.NewLedger(eopt)
+	nodes := []nodeRec{{parent: -1, depth: 0}}
+	var cfgs []*model.Config
+	if visit != nil {
+		cfgs = []*model.Config{root}
+	}
+
+	scheduleOf := func(i int) model.Schedule {
+		var rev model.Schedule
+		for j := i; nodes[j].parent >= 0; j = nodes[j].parent {
+			rev = append(rev, nodes[j].via)
+		}
+		sigma := make(model.Schedule, len(rev))
+		for k := range rev {
+			sigma[k] = rev[len(rev)-1-k]
+		}
+		return sigma
+	}
+	pathOf := func(i int) func() model.Schedule {
+		return func() model.Schedule { return scheduleOf(i) }
+	}
+
+	// Adopt the root into its owning shard so level 0 has a frontier.
+	rootOwner := ownerWorker(ownerShard(root.Hash(), shards), W)
+	err = cl.expectOK(rootOwner, frameAdopt,
+		encodeAdoptReq(0, []adoptNode{{Index: 0, Depth: 0, Key: root.Key()}}))
+	if err != nil {
+		return false, 0, err
+	}
+
+	// Level loop. Levels are contiguous index ranges, exactly as in the
+	// in-process parallel engine; each iteration runs up to three RPC
+	// phases (expand, dedup, adopt) and merges between them in canonical
+	// (parent index, successor index) order.
+	for start, end := 0, 1; start < end; start, end = end, len(nodes) {
+		level := nodes[start].depth
+
+		// Phase 1+2: expand the level and dedup its candidates, skipped
+		// when no node of this level may grow the frontier (sealed budget,
+		// or the whole level is depth-capped — level equals depth in
+		// breadth-first order, so the cap is uniform across the level).
+		var fresh []candidate
+		if !led.Sealed() && !eopt.DepthCapped(level) {
+			perWorker := make([][]candidate, W)
+			err = cl.fanout(func(w int) error {
+				rtyp, resp, err := cl.call(w, frameExpand, encodeLevelIndices(level, nil))
+				if err != nil {
+					return err
+				}
+				if rtyp != frameExpandResp {
+					return fmt.Errorf("distexplore: worker %d: unexpected response frame 0x%02x", w, rtyp)
+				}
+				lv, cands, err := decodeLevelCandidates(resp)
+				if err != nil {
+					return fmt.Errorf("distexplore: worker %d expand response: %w", w, err)
+				}
+				if lv != level {
+					return fmt.Errorf("distexplore: worker %d answered expand for level %d, want %d", w, lv, level)
+				}
+				perWorker[w] = cands
+				return nil
+			})
+			if err != nil {
+				return false, 0, err
+			}
+
+			// Global merge order: candidates sorted by (parent node index,
+			// successor index within the parent's canonical expansion) is
+			// precisely the order in which the sequential engine would
+			// consider them.
+			var all []candidate
+			for _, cs := range perWorker {
+				all = append(all, cs...)
+			}
+			sort.Slice(all, func(i, j int) bool {
+				if all[i].Parent != all[j].Parent {
+					return all[i].Parent < all[j].Parent
+				}
+				return all[i].SuccIdx < all[j].SuccIdx
+			})
+
+			// Route each candidate to its owning shard, preserving global
+			// order within each group, and dedup remotely. "First fresh in
+			// the group" then equals "first fresh globally" per
+			// configuration, because a key's candidates all land in one
+			// group.
+			groups := make([][]candidate, W)
+			for _, c := range all {
+				w := ownerWorker(ownerShard(c.Hash, shards), W)
+				groups[w] = append(groups[w], c)
+			}
+			freshPer := make([][]candidate, W)
+			err = cl.fanout(func(w int) error {
+				if len(groups[w]) == 0 {
+					return nil
+				}
+				rtyp, resp, err := cl.call(w, frameDedup, encodeLevelCandidates(level, groups[w]))
+				if err != nil {
+					return err
+				}
+				if rtyp != frameDedupResp {
+					return fmt.Errorf("distexplore: worker %d: unexpected response frame 0x%02x", w, rtyp)
+				}
+				lv, idx, err := decodeLevelIndices(resp)
+				if err != nil {
+					return fmt.Errorf("distexplore: worker %d dedup response: %w", w, err)
+				}
+				if lv != level {
+					return fmt.Errorf("distexplore: worker %d answered dedup for level %d, want %d", w, lv, level)
+				}
+				for _, i := range idx {
+					if i >= uint64(len(groups[w])) {
+						return fmt.Errorf("distexplore: worker %d dedup index %d out of range", w, i)
+					}
+					freshPer[w] = append(freshPer[w], groups[w][i])
+				}
+				return nil
+			})
+			if err != nil {
+				return false, 0, err
+			}
+			for _, g := range freshPer {
+				fresh = append(fresh, g...)
+			}
+			sort.Slice(fresh, func(i, j int) bool {
+				if fresh[i].Parent != fresh[j].Parent {
+					return fresh[i].Parent < fresh[j].Parent
+				}
+				return fresh[i].SuccIdx < fresh[j].SuccIdx
+			})
+		}
+
+		// Visit and admit, interleaved per node exactly like the in-process
+		// engines: node i is visited, then its fresh successors are
+		// admitted, so an early-stopping visit observes the same count.
+		fi := 0
+		var adopts []adoptNode
+		for i := start; i < end; i++ {
+			if visit != nil && visit(cfgs[i], nodes[i].depth, pathOf(i)) {
+				return false, len(nodes), nil
+			}
+			if !led.ShouldExpand(nodes[i].depth) {
+				continue
+			}
+			for fi < len(fresh) && fresh[fi].Parent < uint64(i) {
+				fi++ // defensive; candidates of visited parents are behind us
+			}
+			for fi < len(fresh) && fresh[fi].Parent == uint64(i) {
+				c := fresh[fi]
+				fi++
+				if !led.Admit() {
+					continue
+				}
+				idx := len(nodes)
+				nodes = append(nodes, nodeRec{parent: i, depth: nodes[i].depth + 1, via: c.Via})
+				if visit != nil {
+					cfgs = append(cfgs, model.MustApply(pr, cfgs[i], c.Via))
+				}
+				adopts = append(adopts, adoptNode{
+					Index: uint64(idx), Depth: uint64(nodes[i].depth + 1),
+					Key: c.Key, Schedule: scheduleOf(idx),
+				})
+			}
+		}
+
+		// Phase 3: hand the admitted nodes to their owning shards — unless
+		// they can never be expanded (sealed budget, or the next level sits
+		// at the depth cap), in which case no worker needs them.
+		if len(adopts) > 0 && !led.Sealed() && !eopt.DepthCapped(level+1) {
+			groups := make(map[int][]adoptNode)
+			for _, nd := range adopts {
+				w := ownerWorker(ownerShard(model.HashKey(nd.Key), shards), W)
+				groups[w] = append(groups[w], nd)
+			}
+			err = cl.fanout(func(w int) error {
+				if len(groups[w]) == 0 {
+					return nil
+				}
+				return cl.expectOK(w, frameAdopt, encodeAdoptReq(level+1, groups[w]))
+			})
+			if err != nil {
+				return false, 0, err
+			}
+		}
+	}
+	return led.Complete(), len(nodes), nil
+}
+
+// CountReachable is the distributed counterpart of
+// explore.CountReachable.
+func (cl *Cluster) CountReachable(t Task) (count int, exact bool, err error) {
+	complete, visited, err := cl.Explore(t, nil)
+	return visited, complete, err
+}
+
+// shutdown releases worker job state at the end of an exploration,
+// best-effort: a worker that cannot be reached simply keeps its state
+// until the next Init replaces it.
+func (cl *Cluster) shutdown() {
+	cl.fanout(func(w int) error {
+		cl.expectOK(w, frameShutdown, nil)
+		return nil
+	})
+}

@@ -1,0 +1,51 @@
+// Package distexplore runs the breadth-first reachability engine of
+// package explore across multiple worker processes, partitioning the
+// visited set by configuration hash range.
+//
+// # Architecture
+//
+// The 64-bit fingerprint space is split into S contiguous shard ranges;
+// shard s is served by worker s mod W. Each worker holds the visited-set
+// entries and the frontier configurations whose hashes land in its shards,
+// so memory scales out with the cluster — no member ever holds the whole
+// state space.
+//
+// A single coordinator drives the level-synchronous loop in a star
+// topology, three RPC phases per level:
+//
+//   - Expand: every worker expands its owned slice of the frontier through
+//     explore.ExpandConfig and returns candidates tagged with (parent
+//     global index, successor index) — their position in the canonical
+//     order.
+//   - Dedup: the coordinator sorts all candidates into that global order,
+//     routes each to its owning shard, and the owners answer which are
+//     first-seen.
+//   - Adopt: the coordinator admits fresh candidates in global order under
+//     the shared explore.Ledger budget, assigns node indices, and hands
+//     each admitted node (canonical key + schedule from the root) to its
+//     owning worker, which rematerializes the configuration by replay and
+//     verifies the key.
+//
+// Because admission decisions are made only at the coordinator, in the
+// same canonical order as the in-process engines, and through the same
+// Ledger, results — visit order, counts, witness schedules, the complete
+// flag — are byte-identical to explore.Explore at every (workers × shards)
+// combination.
+//
+// # Failure model
+//
+// RPCs carry deadlines; transient transport failures are retried over
+// fresh connections with exponential backoff, and workers keep per-level
+// response caches so a replayed request is answered, not re-applied. A
+// worker that stays unreachable is fatal by design: its shards are the
+// only copy of their slice of the visited set, so the exploration aborts
+// with a diagnostic error rather than hanging or silently re-exploring.
+//
+// # Transports
+//
+// The Transport interface has two implementations: TCP for real clusters
+// and Loopback, which runs every cluster member inside one process over
+// in-memory pipes — the same framing, deadline, and retry code paths,
+// which is how the differential tests pin distributed results to the
+// sequential engine byte for byte.
+package distexplore

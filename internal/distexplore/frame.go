@@ -1,0 +1,75 @@
+package distexplore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// The cluster speaks a length-prefixed binary protocol: every message is
+// one frame of
+//
+//	uint32 big-endian payload length | 1 byte type | payload
+//
+// over a persistent connection, strictly request/response (the coordinator
+// sends one request per worker at a time and waits for the reply). Payload
+// encodings live in wire.go and reuse the model's canonical wire formats.
+
+// Frame types. Requests flow coordinator→worker, responses worker→
+// coordinator.
+const (
+	frameInit     byte = 0x01 // start an exploration job on the worker
+	frameExpand   byte = 0x02 // expand the worker's owned frontier at one level
+	frameDedup    byte = 0x03 // dedup candidates against the worker's visited shards
+	frameAdopt    byte = 0x04 // adopt admitted nodes into the worker's frontier
+	frameShutdown byte = 0x05 // end the job, releasing worker state
+
+	frameOK         byte = 0x81 // empty acknowledgement
+	frameErr        byte = 0x82 // worker-side failure; payload is the message
+	frameExpandResp byte = 0x83
+	frameDedupResp  byte = 0x84
+)
+
+// maxFramePayload guards against corrupt length prefixes allocating
+// unbounded memory.
+const maxFramePayload = 1 << 28 // 256 MiB
+
+// writeFrame sends one frame, honouring the deadline (zero means none).
+func writeFrame(c net.Conn, deadline time.Time, typ byte, payload []byte) error {
+	if err := c.SetWriteDeadline(deadline); err != nil {
+		return err
+	}
+	hdr := make([]byte, 5)
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := c.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := c.Write(payload)
+	return err
+}
+
+// readFrame receives one frame, honouring the deadline (zero means none).
+func readFrame(c net.Conn, deadline time.Time) (byte, []byte, error) {
+	if err := c.SetReadDeadline(deadline); err != nil {
+		return 0, nil, err
+	}
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(c, hdr); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("distexplore: frame payload %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}

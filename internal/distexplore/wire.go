@@ -1,0 +1,280 @@
+package distexplore
+
+import (
+	"fmt"
+
+	"github.com/flpsim/flp/internal/model"
+)
+
+// RPC payloads. Configurations cross the wire as canonical key +
+// fingerprint + (for adoption) the schedule reaching them from the root —
+// see the wire-layer rationale in internal/model/wire.go.
+
+// initReq starts an exploration job on a worker. The worker reconstructs
+// the protocol from the registry by name, builds the root configuration
+// from the inputs plus the prefix schedule, and owns every visited-set
+// shard s with s % WorkerCount == WorkerIndex.
+type initReq struct {
+	Protocol    string
+	N           int
+	Inputs      model.Inputs
+	Prefix      model.Schedule
+	Avoid       *model.Event // nil: no filter (Lemma 3 jobs set it)
+	Shards      int
+	WorkerCount int
+	WorkerIndex int
+}
+
+func (r *initReq) encode() []byte {
+	b := model.AppendString(nil, r.Protocol)
+	b = model.AppendUvarint(b, uint64(r.N))
+	b = model.AppendInputs(b, r.Inputs)
+	b = model.AppendSchedule(b, r.Prefix)
+	if r.Avoid != nil {
+		b = append(b, 1)
+		b = model.AppendEvent(b, *r.Avoid)
+	} else {
+		b = append(b, 0)
+	}
+	b = model.AppendUvarint(b, uint64(r.Shards))
+	b = model.AppendUvarint(b, uint64(r.WorkerCount))
+	b = model.AppendUvarint(b, uint64(r.WorkerIndex))
+	return b
+}
+
+func decodeInitReq(b []byte) (*initReq, error) {
+	var r initReq
+	var n int
+	var err error
+	if r.Protocol, n, err = model.ConsumeString(b); err != nil {
+		return nil, fmt.Errorf("init protocol: %w", err)
+	}
+	b = b[n:]
+	nProcs, n, err := model.ConsumeUvarint(b)
+	if err != nil {
+		return nil, fmt.Errorf("init n: %w", err)
+	}
+	r.N = int(nProcs)
+	b = b[n:]
+	if r.Inputs, n, err = model.ConsumeInputs(b); err != nil {
+		return nil, fmt.Errorf("init inputs: %w", err)
+	}
+	b = b[n:]
+	if r.Prefix, n, err = model.ConsumeSchedule(b); err != nil {
+		return nil, fmt.Errorf("init prefix: %w", err)
+	}
+	b = b[n:]
+	if len(b) == 0 {
+		return nil, fmt.Errorf("init: truncated avoid flag")
+	}
+	hasAvoid := b[0] == 1
+	b = b[1:]
+	if hasAvoid {
+		e, n, err := model.ConsumeEvent(b)
+		if err != nil {
+			return nil, fmt.Errorf("init avoid: %w", err)
+		}
+		r.Avoid = &e
+		b = b[n:]
+	}
+	for _, dst := range []*int{&r.Shards, &r.WorkerCount, &r.WorkerIndex} {
+		v, n, err := model.ConsumeUvarint(b)
+		if err != nil {
+			return nil, fmt.Errorf("init shard layout: %w", err)
+		}
+		*dst = int(v)
+		b = b[n:]
+	}
+	return &r, nil
+}
+
+// candidate is one successor produced by expansion, before deduplication:
+// the wire analogue of the in-process engine's Successor, tagged with its
+// global provenance. (Parent, SuccIdx) totally orders a level's candidates
+// in exactly the order the sequential engine's merge would consider them.
+type candidate struct {
+	Parent  uint64 // global index of the expanded node
+	SuccIdx uint64 // position in the parent's canonical successor list
+	Hash    uint64 // fingerprint; routes the candidate to its owning shard
+	Key     string // canonical configuration key; settles dedup exactly
+	Via     model.Event
+}
+
+func appendCandidate(b []byte, c candidate) []byte {
+	b = model.AppendUvarint(b, c.Parent)
+	b = model.AppendUvarint(b, c.SuccIdx)
+	b = model.AppendUvarint(b, c.Hash)
+	b = model.AppendString(b, c.Key)
+	return model.AppendEvent(b, c.Via)
+}
+
+func consumeCandidate(b []byte) (candidate, int, error) {
+	var c candidate
+	off := 0
+	for _, dst := range []*uint64{&c.Parent, &c.SuccIdx, &c.Hash} {
+		v, n, err := model.ConsumeUvarint(b[off:])
+		if err != nil {
+			return c, 0, err
+		}
+		*dst = v
+		off += n
+	}
+	key, n, err := model.ConsumeString(b[off:])
+	if err != nil {
+		return c, 0, err
+	}
+	c.Key = key
+	off += n
+	e, n, err := model.ConsumeEvent(b[off:])
+	if err != nil {
+		return c, 0, err
+	}
+	c.Via = e
+	return c, off + n, nil
+}
+
+// encodeLevelCandidates frames a level number plus a candidate list; used
+// by both the expand response and the dedup request.
+func encodeLevelCandidates(level int, cands []candidate) []byte {
+	b := model.AppendUvarint(nil, uint64(level))
+	b = model.AppendUvarint(b, uint64(len(cands)))
+	for _, c := range cands {
+		b = appendCandidate(b, c)
+	}
+	return b
+}
+
+func decodeLevelCandidates(b []byte) (level int, cands []candidate, err error) {
+	lv, n, err := model.ConsumeUvarint(b)
+	if err != nil {
+		return 0, nil, fmt.Errorf("candidates level: %w", err)
+	}
+	b = b[n:]
+	count, n, err := model.ConsumeUvarint(b)
+	if err != nil {
+		return 0, nil, fmt.Errorf("candidates count: %w", err)
+	}
+	b = b[n:]
+	cands = make([]candidate, 0, count)
+	for i := uint64(0); i < count; i++ {
+		c, n, err := consumeCandidate(b)
+		if err != nil {
+			return 0, nil, fmt.Errorf("candidate %d: %w", i, err)
+		}
+		cands = append(cands, c)
+		b = b[n:]
+	}
+	return int(lv), cands, nil
+}
+
+// encodeUintList frames a level number plus a list of indices; used by the
+// dedup response (indices into the request's candidate list that were
+// fresh) and the expand request (which carries only the level).
+func encodeLevelIndices(level int, idx []uint64) []byte {
+	b := model.AppendUvarint(nil, uint64(level))
+	b = model.AppendUvarint(b, uint64(len(idx)))
+	for _, v := range idx {
+		b = model.AppendUvarint(b, v)
+	}
+	return b
+}
+
+func decodeLevelIndices(b []byte) (level int, idx []uint64, err error) {
+	lv, n, err := model.ConsumeUvarint(b)
+	if err != nil {
+		return 0, nil, fmt.Errorf("indices level: %w", err)
+	}
+	b = b[n:]
+	count, n, err := model.ConsumeUvarint(b)
+	if err != nil {
+		return 0, nil, fmt.Errorf("indices count: %w", err)
+	}
+	b = b[n:]
+	idx = make([]uint64, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, n, err := model.ConsumeUvarint(b)
+		if err != nil {
+			return 0, nil, fmt.Errorf("index %d: %w", i, err)
+		}
+		idx = append(idx, v)
+		b = b[n:]
+	}
+	return int(lv), idx, nil
+}
+
+// adoptNode is one admitted configuration being handed to its owning
+// shard: identity (key), placement (global index and depth), and
+// provenance (schedule from the root, by which the owner rematerializes
+// the configuration, verifying the key).
+type adoptNode struct {
+	Index    uint64
+	Depth    uint64
+	Key      string
+	Schedule model.Schedule
+}
+
+func encodeAdoptReq(level int, nodes []adoptNode) []byte {
+	b := model.AppendUvarint(nil, uint64(level))
+	b = model.AppendUvarint(b, uint64(len(nodes)))
+	for _, nd := range nodes {
+		b = model.AppendUvarint(b, nd.Index)
+		b = model.AppendUvarint(b, nd.Depth)
+		b = model.AppendString(b, nd.Key)
+		b = model.AppendSchedule(b, nd.Schedule)
+	}
+	return b
+}
+
+func decodeAdoptReq(b []byte) (level int, nodes []adoptNode, err error) {
+	lv, n, err := model.ConsumeUvarint(b)
+	if err != nil {
+		return 0, nil, fmt.Errorf("adopt level: %w", err)
+	}
+	b = b[n:]
+	count, n, err := model.ConsumeUvarint(b)
+	if err != nil {
+		return 0, nil, fmt.Errorf("adopt count: %w", err)
+	}
+	b = b[n:]
+	nodes = make([]adoptNode, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var nd adoptNode
+		for _, dst := range []*uint64{&nd.Index, &nd.Depth} {
+			v, n, err := model.ConsumeUvarint(b)
+			if err != nil {
+				return 0, nil, fmt.Errorf("adopt node %d: %w", i, err)
+			}
+			*dst = v
+			b = b[n:]
+		}
+		if nd.Key, n, err = model.ConsumeString(b); err != nil {
+			return 0, nil, fmt.Errorf("adopt node %d key: %w", i, err)
+		}
+		b = b[n:]
+		if nd.Schedule, n, err = model.ConsumeSchedule(b); err != nil {
+			return 0, nil, fmt.Errorf("adopt node %d schedule: %w", i, err)
+		}
+		b = b[n:]
+		nodes = append(nodes, nd)
+	}
+	return int(lv), nodes, nil
+}
+
+// ownerShard maps a configuration fingerprint to its hash-range shard:
+// the 64-bit hash space is split into shards equal contiguous ranges.
+func ownerShard(hash uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	rangeSize := ^uint64(0)/uint64(shards) + 1
+	s := int(hash / rangeSize)
+	if s >= shards { // the last range absorbs the rounding remainder
+		s = shards - 1
+	}
+	return s
+}
+
+// ownerWorker maps a shard to the worker process serving it: shards are
+// dealt round-robin, so worker w serves every shard s with
+// s % workerCount == w.
+func ownerWorker(shard, workerCount int) int { return shard % workerCount }

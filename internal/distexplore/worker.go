@@ -1,0 +1,322 @@
+package distexplore
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+)
+
+// ProtocolProvider resolves a protocol name and process count to a live
+// Protocol instance. Coordinator and workers must resolve identically —
+// protocols are deterministic code, so shipping the *name* and
+// reconstructing locally is what keeps configurations replayable from
+// schedules on any cluster member.
+type ProtocolProvider func(name string, n int) (model.Protocol, error)
+
+// RegistryProvider resolves names against the built-in protocol registry
+// (the same one the CLIs use).
+func RegistryProvider(name string, n int) (model.Protocol, error) {
+	factory, ok := protocols.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("distexplore: unknown protocol %q", name)
+	}
+	return factory(n)
+}
+
+// ownedNode is one frontier configuration owned by this worker: its global
+// node index (assigned by the coordinator in deterministic merge order)
+// and the materialized configuration.
+type ownedNode struct {
+	idx uint64
+	cfg *model.Config
+}
+
+// job is the state of one exploration on a worker: the reconstructed
+// protocol and root, the visited-set shards this worker owns, and the
+// frontier levels awaiting expansion. Jobs survive connection loss — a
+// coordinator that re-dials resumes against the same state, and the
+// last-level response caches make every RPC idempotent under replay.
+type job struct {
+	pr          model.Protocol
+	root        *model.Config
+	skip        func(model.Event) bool
+	shards      int
+	workerCount int
+	workerIndex int
+
+	// visited is this worker's slice of the global visited set: every
+	// canonical key whose hash lands in one of the worker's shard ranges,
+	// bucketed by fingerprint with full-key confirmation (fingerprint
+	// collisions cost a string comparison, never correctness).
+	visited map[uint64][]string
+
+	// frontier holds adopted-but-unexpanded nodes, keyed by depth, in
+	// ascending global index order.
+	frontier map[int][]ownedNode
+
+	// levelCache keeps the successor configurations this worker computed
+	// during the last expansion and also owns, so adopting them back does
+	// not pay a schedule replay.
+	levelCache map[string]*model.Config
+
+	// Idempotency guards: the level most recently processed by each RPC
+	// type, with the cached response. A replayed request (the coordinator
+	// retried after a lost response) is answered from cache instead of
+	// being re-applied.
+	lastExpand, lastDedup, lastAdopt int
+	lastExpandResp, lastDedupResp    []byte
+}
+
+func (j *job) visitedAdd(hash uint64, key string) (fresh bool) {
+	for _, k := range j.visited[hash] {
+		if k == key {
+			return false
+		}
+	}
+	j.visited[hash] = append(j.visited[hash], key)
+	return true
+}
+
+// ownsKey reports whether a fingerprint lands in one of this worker's
+// shard ranges.
+func (j *job) ownsHash(h uint64) bool {
+	return ownerWorker(ownerShard(h, j.shards), j.workerCount) == j.workerIndex
+}
+
+// Worker serves one visited-set partition of the cluster: it owns the
+// shards dealt to its index, expands its owned frontier each level, dedups
+// candidates routed to it, and adopts admitted nodes. One exploration job
+// runs at a time; job state is shared across connections so a coordinator
+// that loses a connection mid-run can re-dial and resume.
+type Worker struct {
+	provider ProtocolProvider
+
+	mu  sync.Mutex
+	job *job
+}
+
+// NewWorker returns a worker resolving protocols through provider (nil
+// means the built-in registry).
+func NewWorker(provider ProtocolProvider) *Worker {
+	if provider == nil {
+		provider = RegistryProvider
+	}
+	return &Worker{provider: provider}
+}
+
+// workerWriteTimeout bounds response writes so a stalled coordinator
+// cannot wedge a session goroutine forever.
+const workerWriteTimeout = 2 * time.Minute
+
+// Serve accepts coordinator connections until the listener is closed.
+func (w *Worker) Serve(l Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go w.handle(conn)
+	}
+}
+
+// handle runs one connection's request loop. Requests are processed
+// strictly in order; the job state is locked per request because a
+// re-dialed connection may take over from a dying one.
+func (w *Worker) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		typ, payload, err := readFrame(conn, time.Time{})
+		if err != nil {
+			return // connection gone; the coordinator will re-dial or abort
+		}
+		rtyp, rpayload := w.dispatch(typ, payload)
+		if err := writeFrame(conn, time.Now().Add(workerWriteTimeout), rtyp, rpayload); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch applies one request to the worker state and returns the
+// response frame. Failures are reported as frameErr, which the
+// coordinator treats as permanent (it aborts the exploration with a
+// diagnostic rather than retrying).
+func (w *Worker) dispatch(typ byte, payload []byte) (byte, []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fail := func(err error) (byte, []byte) { return frameErr, []byte(err.Error()) }
+	switch typ {
+	case frameInit:
+		req, err := decodeInitReq(payload)
+		if err != nil {
+			return fail(err)
+		}
+		if err := w.initJob(req); err != nil {
+			return fail(err)
+		}
+		return frameOK, nil
+
+	case frameExpand:
+		if w.job == nil {
+			return fail(fmt.Errorf("distexplore: expand without an active job"))
+		}
+		level, _, err := decodeLevelIndices(payload)
+		if err != nil {
+			return fail(err)
+		}
+		if level == w.job.lastExpand {
+			return frameExpandResp, w.job.lastExpandResp
+		}
+		return frameExpandResp, w.expandLevel(level)
+
+	case frameDedup:
+		if w.job == nil {
+			return fail(fmt.Errorf("distexplore: dedup without an active job"))
+		}
+		level, cands, err := decodeLevelCandidates(payload)
+		if err != nil {
+			return fail(err)
+		}
+		if level == w.job.lastDedup {
+			return frameDedupResp, w.job.lastDedupResp
+		}
+		return frameDedupResp, w.dedupLevel(level, cands)
+
+	case frameAdopt:
+		if w.job == nil {
+			return fail(fmt.Errorf("distexplore: adopt without an active job"))
+		}
+		level, nodes, err := decodeAdoptReq(payload)
+		if err != nil {
+			return fail(err)
+		}
+		if level == w.job.lastAdopt {
+			return frameOK, nil // replayed request; already applied
+		}
+		if err := w.adoptLevel(level, nodes); err != nil {
+			return fail(err)
+		}
+		return frameOK, nil
+
+	case frameShutdown:
+		w.job = nil
+		return frameOK, nil
+
+	default:
+		return fail(fmt.Errorf("distexplore: unknown frame type 0x%02x", typ))
+	}
+}
+
+func (w *Worker) initJob(req *initReq) error {
+	if req.Shards < 1 || req.WorkerCount < 1 || req.WorkerIndex < 0 || req.WorkerIndex >= req.WorkerCount {
+		return fmt.Errorf("distexplore: invalid shard layout %d shards / worker %d of %d",
+			req.Shards, req.WorkerIndex, req.WorkerCount)
+	}
+	pr, err := w.provider(req.Protocol, req.N)
+	if err != nil {
+		return err
+	}
+	root, err := model.Initial(pr, req.Inputs)
+	if err != nil {
+		return err
+	}
+	if len(req.Prefix) > 0 {
+		if root, err = model.ApplySchedule(pr, root, req.Prefix); err != nil {
+			return fmt.Errorf("distexplore: applying root prefix: %w", err)
+		}
+	}
+	w.job = &job{
+		pr:          pr,
+		root:        root,
+		skip:        explore.AvoidFilter(req.Avoid),
+		shards:      req.Shards,
+		workerCount: req.WorkerCount,
+		workerIndex: req.WorkerIndex,
+		visited:     make(map[uint64][]string),
+		frontier:    make(map[int][]ownedNode),
+		lastExpand:  -1,
+		lastDedup:   -1,
+		lastAdopt:   -1,
+	}
+	return nil
+}
+
+// expandLevel expands every owned frontier node at the given depth through
+// the shared engine core, returning the encoded candidate list. Expansion
+// is pure, so owned nodes can be released immediately; successors this
+// worker also owns are cached so adoption does not replay their schedules.
+func (w *Worker) expandLevel(level int) []byte {
+	j := w.job
+	nodes := j.frontier[level]
+	delete(j.frontier, level)
+	j.levelCache = make(map[string]*model.Config)
+	var cands []candidate
+	for _, nd := range nodes {
+		for si, s := range explore.ExpandConfig(j.pr, nd.cfg, j.skip) {
+			h := s.Cfg.Hash()
+			key := s.Cfg.Key()
+			if j.ownsHash(h) {
+				j.levelCache[key] = s.Cfg
+			}
+			cands = append(cands, candidate{
+				Parent:  nd.idx,
+				SuccIdx: uint64(si),
+				Hash:    h,
+				Key:     key,
+				Via:     s.Via,
+			})
+		}
+	}
+	resp := encodeLevelCandidates(level, cands)
+	j.lastExpand, j.lastExpandResp = level, resp
+	return resp
+}
+
+// dedupLevel filters a globally-ordered candidate batch against this
+// worker's visited shards, returning the indices of first-seen
+// configurations. The coordinator sends candidates pre-sorted in global
+// merge order, so "first seen" here coincides with "first seen by the
+// sequential engine".
+func (w *Worker) dedupLevel(level int, cands []candidate) []byte {
+	j := w.job
+	var fresh []uint64
+	for i, c := range cands {
+		if j.visitedAdd(c.Hash, c.Key) {
+			fresh = append(fresh, uint64(i))
+		}
+	}
+	resp := encodeLevelIndices(level, fresh)
+	j.lastDedup, j.lastDedupResp = level, resp
+	return resp
+}
+
+// adoptLevel materializes admitted nodes into this worker's frontier:
+// from the expansion cache when the worker computed the configuration
+// itself this level, otherwise by replaying the node's schedule from the
+// root. Every materialization is verified against the transmitted
+// canonical key, so a protocol-resolution or replay divergence surfaces as
+// a loud error instead of silent state corruption.
+func (w *Worker) adoptLevel(level int, nodes []adoptNode) error {
+	j := w.job
+	for _, nd := range nodes {
+		cfg, ok := j.levelCache[nd.Key]
+		if !ok {
+			var err error
+			cfg, err = model.ApplySchedule(j.pr, j.root, nd.Schedule)
+			if err != nil {
+				return fmt.Errorf("distexplore: replaying schedule for node %d: %w", nd.Index, err)
+			}
+		}
+		if cfg.Key() != nd.Key {
+			return fmt.Errorf("distexplore: node %d integrity failure: replayed key diverges from transmitted key (protocol mismatch between cluster members?)", nd.Index)
+		}
+		j.visitedAdd(cfg.Hash(), nd.Key) // root adoption path; no-op after dedup
+		j.frontier[int(nd.Depth)] = append(j.frontier[int(nd.Depth)], ownedNode{idx: nd.Index, cfg: cfg})
+	}
+	j.lastAdopt = level
+	return nil
+}

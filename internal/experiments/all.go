@@ -68,6 +68,7 @@ func Suite(s Sizes) []Runner {
 		{"E16", func() (*Table, error) { return E16ReliableBroadcast(s.E16Seeds) }},
 		{"E17", func() (*Table, error) { return E17Multivalued(s.E17Seeds) }},
 		{"E18", func() (*Table, error) { return E18Election(0) }},
+		{"E19", E19DistExplore},
 	}
 }
 

@@ -440,11 +440,32 @@ func TestE18ElectionShape(t *testing.T) {
 	}
 }
 
+func TestE19DistExploreShape(t *testing.T) {
+	tab, bench, err := experiments.E19DistExploreBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || len(bench.Rows) != 2 {
+		t.Fatalf("E19 has %d table rows / %d bench rows, want 2/2", len(tab.Rows), len(bench.Rows))
+	}
+	for i, r := range bench.Rows {
+		if !r.CountsAgree {
+			t.Errorf("row %d (%s): engine counts diverged", i, r.Kernel)
+		}
+		if r.Configs <= 0 {
+			t.Errorf("row %d (%s): no configurations counted", i, r.Kernel)
+		}
+		if got, _ := tab.Cell(i, "counts agree"); got != "true" {
+			t.Errorf("row %d: table reports counts agree = %q", i, got)
+		}
+	}
+}
+
 func TestSuiteAndRunByID(t *testing.T) {
 	s := experiments.DefaultSizes()
 	suite := experiments.Suite(s)
-	if len(suite) != 18 {
-		t.Fatalf("suite has %d experiments, want 18", len(suite))
+	if len(suite) != 19 {
+		t.Fatalf("suite has %d experiments, want 19", len(suite))
 	}
 	ids := map[string]bool{}
 	for _, r := range suite {

@@ -11,13 +11,28 @@ type Options struct {
 	// certificates remain exact; univalence claims do not). Default 200000.
 	MaxConfigs int
 	// MaxDepth bounds the schedule length explored; 0 means unlimited.
+	// Negative values are clamped to 0 (unlimited) by Normalized — they
+	// would otherwise slip through the engines' `depth >= MaxDepth`
+	// comparisons as a silent unlimited bound without being documented as
+	// one.
 	MaxDepth int
-	// Workers is the number of goroutines expanding frontier nodes.
-	// 0 (the default) means runtime.GOMAXPROCS(0); 1 or a negative value
-	// forces the sequential engine. Any worker count produces byte-
-	// identical results — same visit order, same counts, same witness
-	// schedules — because successors are merged into the frontier in
-	// canonical event order by a single coordinator (see doc.go).
+	// Workers is the number of goroutines expanding frontier nodes
+	// *within one process*. 0 (the default) means runtime.GOMAXPROCS(0);
+	// 1 or a negative value forces the sequential engine. Any worker
+	// count produces byte-identical results — same visit order, same
+	// counts, same witness schedules — because successors are merged into
+	// the frontier in canonical order by a single coordinator (see
+	// doc.go).
+	//
+	// Workers is orthogonal to the distributed engine's sharding: package
+	// distexplore partitions the visited set by configuration hash range
+	// into Shards ranges served by worker *processes*, and each of those
+	// processes expands its owned frontier sequentially (the distributed
+	// level exchange, not goroutine count, is its unit of parallelism).
+	// Every (Workers × Shards × worker-process) combination is
+	// byte-identical to Workers=1 here; choose Workers for one machine,
+	// Shards and worker processes for many. This paragraph is the single
+	// home of that contract — distexplore.Options refers back to it.
 	Workers int
 }
 
@@ -25,10 +40,23 @@ type Options struct {
 // Options.MaxConfigs is zero.
 const DefaultMaxConfigs = 200000
 
-func (o Options) withDefaults() Options {
+// Normalized returns o with the engine-independent fields validated and
+// defaulted: MaxConfigs defaulted, MaxDepth clamped to "unlimited" when
+// negative. Engines outside this package (distexplore) apply it so that
+// bound handling cannot drift between engines; in-process entry points get
+// it via withDefaults.
+func (o Options) Normalized() Options {
 	if o.MaxConfigs <= 0 {
 		o.MaxConfigs = DefaultMaxConfigs
 	}
+	if o.MaxDepth < 0 {
+		o.MaxDepth = 0
+	}
+	return o
+}
+
+func (o Options) withDefaults() Options {
+	o = o.Normalized()
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}

@@ -9,12 +9,16 @@ import (
 // pool of workers and returns the successor lists indexed like level.
 // Expansion is pure, so the only coordination is work distribution: an
 // atomic cursor hands out node indices, which keeps fast workers busy when
-// node costs are uneven. A panic in any worker (a protocol contract
-// violation surfacing through MustApply) is re-raised on the caller's
-// goroutine once the pool has drained, matching the sequential engine's
-// behaviour.
-func expandLevel(level []node, expand func(node) []succ, workers int) [][]succ {
-	out := make([][]succ, len(level))
+// node costs are uneven.
+//
+// A panic in any worker (a protocol contract violation surfacing through
+// MustApply) is re-raised on the caller's goroutine once the pool has
+// drained. When several nodes of the level panic, the one at the lowest
+// frontier index is re-raised — the node the sequential engine would have
+// reached first — so the surfaced failure is byte-identical at every
+// worker count.
+func expandLevel(level []node, expand func(node) []Successor, workers int) [][]Successor {
+	out := make([][]Successor, len(level))
 	if len(level) == 1 {
 		out[0] = expand(level[0])
 		return out
@@ -24,14 +28,19 @@ func expandLevel(level []node, expand func(node) []succ, workers int) [][]succ {
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	panics := make([]any, workers)
+	type workerPanic struct {
+		index int // frontier index being expanded when the panic fired
+		value any
+	}
+	panics := make([]*workerPanic, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			cur := -1
 			defer func() {
 				if r := recover(); r != nil {
-					panics[w] = r
+					panics[w] = &workerPanic{index: cur, value: r}
 				}
 			}()
 			for {
@@ -39,15 +48,20 @@ func expandLevel(level []node, expand func(node) []succ, workers int) [][]succ {
 				if i >= len(level) {
 					return
 				}
+				cur = i
 				out[i] = expand(level[i])
 			}
 		}(w)
 	}
 	wg.Wait()
+	var first *workerPanic
 	for _, p := range panics {
-		if p != nil {
-			panic(p)
+		if p != nil && (first == nil || p.index < first.index) {
+			first = p
 		}
+	}
+	if first != nil {
+		panic(first.value)
 	}
 	return out
 }

@@ -23,11 +23,7 @@ type Visit func(cfg *model.Config, depth int, path func() model.Schedule) (stop 
 // It reports whether the reachable set was exhausted within the budget
 // (complete) and how many distinct configurations were visited.
 func Explore(pr model.Protocol, c *model.Config, opt Options, avoid *model.Event, visit Visit) (complete bool, visited int) {
-	var skip func(model.Event) bool
-	if avoid != nil {
-		skip = func(e model.Event) bool { return e.Same(*avoid) }
-	}
-	return ExploreFiltered(pr, c, opt, skip, visit)
+	return ExploreFiltered(pr, c, opt, AvoidFilter(avoid), visit)
 }
 
 // node is one entry of the breadth-first frontier. Parent links let path
@@ -37,12 +33,6 @@ type node struct {
 	depth  int
 	parent int
 	via    model.Event
-}
-
-// succ is one successor produced by expanding a node, before deduplication.
-type succ struct {
-	via model.Event
-	cfg *model.Config
 }
 
 // ExploreFiltered is Explore with an arbitrary event filter: events for
@@ -59,12 +49,18 @@ type succ struct {
 // functions of the event); pr must honour the Protocol contract of being
 // deterministic and side-effect free, which also makes it safe to call
 // from several workers.
+//
+// The distributed engine (package distexplore) runs the same algorithm
+// with the frontier partitioned by configuration hash range across worker
+// processes; it shares ExpandConfig and Ledger with this implementation,
+// which is what keeps its results byte-identical too.
 func ExploreFiltered(pr model.Protocol, c *model.Config, opt Options, skip func(model.Event) bool, visit Visit) (complete bool, visited int) {
 	opt = opt.withDefaults()
 
 	nodes := []node{{cfg: c, depth: 0, parent: -1}}
 	seen := model.NewInterner()
 	seen.Intern(c)
+	led := NewLedger(opt)
 
 	pathOf := func(i int) func() model.Schedule {
 		return func() model.Schedule {
@@ -81,54 +77,32 @@ func ExploreFiltered(pr model.Protocol, c *model.Config, opt Options, skip func(
 		}
 	}
 
-	// expand computes the successors of one node: applicable events after
-	// filtering, each applied to produce the successor configuration with
-	// its fingerprint precomputed. It is a pure function of the node, so
-	// workers may run it ahead of the coordinator without changing results.
-	expand := func(n node) []succ {
-		if opt.MaxDepth > 0 && n.depth >= opt.MaxDepth {
+	// expand computes the successors of one node via the shared engine
+	// core. It is a pure function of the node, so workers may run it ahead
+	// of the coordinator without changing results.
+	expand := func(n node) []Successor {
+		if opt.DepthCapped(n.depth) {
 			return nil
 		}
-		var out []succ
-		for _, e := range model.Events(n.cfg) {
-			if skip != nil && skip(e) {
-				continue
-			}
-			if e.IsNull() && model.IsNoOp(pr, n.cfg, e) {
-				continue
-			}
-			nc := model.MustApply(pr, n.cfg, e)
-			nc.Hash() // fingerprint (and canonical key) off the merge path
-			out = append(out, succ{via: e, cfg: nc})
-		}
-		return out
+		return ExpandConfig(pr, n.cfg, skip)
 	}
 
-	truncated := false
 	// merge folds one node's successors into the frontier: first-seen
 	// configurations are appended in canonical event order until the
 	// budget is reached. Only the coordinator calls merge, so frontier
 	// growth — and therefore node indices, paths, and truncation — is
 	// deterministic for every worker count.
-	merge := func(parent int, succs []succ) {
+	merge := func(parent int, succs []Successor) {
 		for _, s := range succs {
-			if _, fresh := seen.Intern(s.cfg); !fresh {
+			if _, fresh := seen.Intern(s.Cfg); !fresh {
 				continue
 			}
-			if len(nodes) >= opt.MaxConfigs {
-				truncated = true
+			if !led.Admit() {
 				break
 			}
-			nodes = append(nodes, node{cfg: s.cfg, depth: nodes[parent].depth + 1, parent: parent, via: s.via})
+			nodes = append(nodes, node{cfg: s.Cfg, depth: nodes[parent].depth + 1, parent: parent, via: s.Via})
 		}
 	}
-
-	// Once the budget has been exceeded the frontier can never grow again,
-	// so expansion is pure waste. (len == MaxConfigs alone is not enough:
-	// an exactly-full frontier must still expand to learn whether a fresh
-	// successor exists, which is what distinguishes complete from
-	// truncated.)
-	sealed := func() bool { return truncated && len(nodes) >= opt.MaxConfigs }
 
 	if opt.Workers <= 1 {
 		// Sequential engine: expansion and merging are fused so the event
@@ -140,32 +114,27 @@ func ExploreFiltered(pr model.Protocol, c *model.Config, opt Options, skip func(
 			if visit != nil && visit(n.cfg, n.depth, pathOf(i)) {
 				return false, len(nodes)
 			}
-			if opt.MaxDepth > 0 && n.depth >= opt.MaxDepth {
-				truncated = true
+			if !led.ShouldExpand(n.depth) {
 				continue
 			}
-			if sealed() {
+			if led.Sealed() {
 				continue
 			}
 			for _, e := range model.Events(n.cfg) {
-				if skip != nil && skip(e) {
-					continue
-				}
-				if e.IsNull() && model.IsNoOp(pr, n.cfg, e) {
+				if skipEvent(pr, n.cfg, e, skip) {
 					continue
 				}
 				nc := model.MustApply(pr, n.cfg, e)
 				if _, fresh := seen.Intern(nc); !fresh {
 					continue
 				}
-				if len(nodes) >= opt.MaxConfigs {
-					truncated = true
+				if !led.Admit() {
 					break
 				}
 				nodes = append(nodes, node{cfg: nc, depth: n.depth + 1, parent: i, via: e})
 			}
 		}
-		return !truncated, len(nodes)
+		return led.Complete(), len(nodes)
 	}
 
 	// Parallel engine: breadth-first levels are contiguous index ranges
@@ -175,8 +144,8 @@ func ExploreFiltered(pr model.Protocol, c *model.Config, opt Options, skip func(
 	// budget will discard (the level is speculated as a whole); that slack
 	// is bounded by one level and never reaches an observable.
 	for start, end := 0, 1; start < end; start, end = end, len(nodes) {
-		var exps [][]succ
-		if !sealed() {
+		var exps [][]Successor
+		if !led.Sealed() {
 			exps = expandLevel(nodes[start:end], expand, opt.Workers)
 		}
 		for i := start; i < end; i++ {
@@ -184,8 +153,7 @@ func ExploreFiltered(pr model.Protocol, c *model.Config, opt Options, skip func(
 			if visit != nil && visit(n.cfg, n.depth, pathOf(i)) {
 				return false, len(nodes)
 			}
-			if opt.MaxDepth > 0 && n.depth >= opt.MaxDepth {
-				truncated = true
+			if !led.ShouldExpand(n.depth) {
 				continue
 			}
 			if exps != nil {
@@ -193,7 +161,7 @@ func ExploreFiltered(pr model.Protocol, c *model.Config, opt Options, skip func(
 			}
 		}
 	}
-	return !truncated, len(nodes)
+	return led.Complete(), len(nodes)
 }
 
 // Reachable reports whether target is reachable from c (by configuration
