@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-short test-dist fuzz bench bench-parallel vet
+.PHONY: all build test test-race test-short test-dist fuzz bench bench-parallel bench-valency vet
 
 all: build test
 
@@ -41,6 +41,11 @@ bench:
 bench-parallel:
 	$(GO) test -bench 'BenchmarkE11ParallelExplore' -benchmem -run '^$$' .
 	$(GO) test -bench 'BenchmarkE2InitialValency|BenchmarkE3BivalencePreservation' -cpu 1,4 -run '^$$' .
+
+# The valency atlas guardrail: whole-graph classification against one
+# budgeted BFS per configuration, and the warmed-cache read path.
+bench-valency:
+	$(GO) test -bench 'BenchmarkValencyPerConfig|BenchmarkAtlasCensus|BenchmarkAtlasWarmedCache' -benchmem -run '^$$' ./internal/explore
 
 vet:
 	$(GO) vet ./...

@@ -90,6 +90,20 @@ func NewValencyCache(pr Protocol, opt CheckOptions) *ValencyCache {
 	return explore.NewCache(pr, opt)
 }
 
+// ValencyAtlas is a one-pass classification of an entire reachable
+// configuration graph: every node's exact valency, witness lengths, and
+// shortest witness schedules, computed in O(V+E) total.
+type ValencyAtlas = explore.Atlas
+
+// BuildValencyAtlas materializes the reachable graph of pr from root and
+// classifies every node. It reports ok=false when the state space exceeds
+// opt's budget (or opt sets MaxDepth); callers then fall back to Classify.
+// Attach the atlas to a cache with ValencyCache.Warm, or let CensusLemma3
+// and the adversary build and share one automatically.
+func BuildValencyAtlas(pr Protocol, root *Config, opt CheckOptions) (*ValencyAtlas, bool) {
+	return explore.BuildAtlas(pr, root, opt)
+}
+
 // Reachable reports whether target is reachable from c, with a witness.
 func Reachable(pr Protocol, c, target *Config, opt CheckOptions) (Schedule, bool) {
 	return explore.Reachable(pr, c, target, opt)

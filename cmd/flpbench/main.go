@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/flpsim/flp/internal/experiments"
@@ -22,16 +23,20 @@ import (
 
 func main() {
 	var (
-		id      = flag.String("experiment", "all", "experiment id (E1..E18) or 'all'")
-		scale   = flag.Int("scale", 1, "multiply trial counts")
-		seed    = flag.Int64("seed", 1, "base seed")
-		workers = flag.Int("workers", 0, "exploration workers: sets GOMAXPROCS, the default worker count of every exploration (0 = leave as is)")
-		distout = flag.String("distbench-out", "BENCH_distexplore.json", "file E19 writes its engine-comparison timings to ('' disables)")
+		id         = flag.String("experiment", "all", "experiment id (E1..E20) or 'all'")
+		scale      = flag.Int("scale", 1, "multiply trial counts")
+		seed       = flag.Int64("seed", 1, "base seed")
+		workers    = flag.Int("workers", 0, "exploration workers: sets GOMAXPROCS, the default worker count of every exploration (0 = leave as is)")
+		distout    = flag.String("distbench-out", "BENCH_distexplore.json", "file E19 writes its engine-comparison timings to ('' disables)")
+		valout     = flag.String("valbench-out", "BENCH_valency.json", "file E20 writes its atlas-vs-per-config timings to ('' disables)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)
 	}
+	defer profiles(*cpuprofile, *memprofile)()
 
 	sizes := experiments.DefaultSizes()
 	sizes.Seed = *seed
@@ -46,7 +51,7 @@ func main() {
 	}
 
 	if *id != "all" {
-		tab, err := runOne(*id, sizes, *distout)
+		tab, err := runOne(*id, sizes, *distout, *valout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flpbench: %v\n", err)
 			os.Exit(1)
@@ -57,7 +62,7 @@ func main() {
 	start := time.Now()
 	for _, r := range experiments.Suite(sizes) {
 		t0 := time.Now()
-		tab, err := runOne(r.ID, sizes, *distout)
+		tab, err := runOne(r.ID, sizes, *distout, *valout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flpbench: %s: %v\n", r.ID, err)
 			os.Exit(1)
@@ -68,26 +73,80 @@ func main() {
 	fmt.Printf("suite complete in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-// runOne dispatches one experiment. E19 is special-cased so its
-// machine-readable engine comparison lands in BENCH_distexplore.json
-// alongside the printed table.
-func runOne(id string, sizes experiments.Sizes, distout string) (*experiments.Table, error) {
-	if id != "E19" {
-		return experiments.RunByID(id, sizes)
+// profiles starts CPU profiling (when requested) and returns the function
+// that stops it and writes the heap profile — deferred by main, so error
+// paths that os.Exit skip the writes by design.
+func profiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flpbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "flpbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	tab, bench, err := experiments.E19DistExploreBench()
-	if err != nil {
-		return nil, err
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "flpbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // materialize a settled heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "flpbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
-	if distout != "" {
-		data, err := json.MarshalIndent(bench, "", "  ")
+}
+
+// runOne dispatches one experiment. E19 and E20 are special-cased so their
+// machine-readable comparisons land in BENCH_distexplore.json and
+// BENCH_valency.json alongside the printed tables.
+func runOne(id string, sizes experiments.Sizes, distout, valout string) (*experiments.Table, error) {
+	switch id {
+	case "E19":
+		tab, bench, err := experiments.E19DistExploreBench()
 		if err != nil {
 			return nil, err
 		}
-		if err := os.WriteFile(distout, append(data, '\n'), 0o644); err != nil {
+		if err := writeJSON(distout, bench); err != nil {
 			return nil, err
 		}
-		fmt.Printf("  wrote %s\n", distout)
+		return tab, nil
+	case "E20":
+		tab, bench, err := experiments.E20ValencyAtlasBench()
+		if err != nil {
+			return nil, err
+		}
+		if err := writeJSON(valout, bench); err != nil {
+			return nil, err
+		}
+		return tab, nil
 	}
-	return tab, nil
+	return experiments.RunByID(id, sizes)
+}
+
+// writeJSON writes v to path, unless path is empty (disabled).
+func writeJSON(path string, v any) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return nil
 }

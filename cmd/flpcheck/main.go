@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -24,18 +26,21 @@ import (
 
 func main() {
 	var (
-		name      = flag.String("protocol", "naivemajority", "protocol to check (see -list)")
-		n         = flag.Int("n", 3, "number of processes")
-		budget    = flag.Int("budget", 200000, "max configurations per exploration")
-		stages    = flag.Int("adversary", 0, "also run the Theorem 1 adversary for this many stages")
-		workers   = flag.Int("workers", 0, "exploration workers (0 = GOMAXPROCS, 1 = sequential)")
-		skipL3    = flag.Bool("skip-lemma3", false, "skip the Lemma 3 frontier census")
-		skipAgree = flag.Bool("skip-agreement", false, "skip the partial-correctness audit")
-		cluster   = flag.String("cluster", "", "also run a distributed reachability census: 'loopback:W' spins up W in-process workers; otherwise comma-separated flpcluster worker addresses")
-		shards    = flag.Int("cluster-shards", 0, "visited-set shards for -cluster (0 = one per worker)")
-		list      = flag.Bool("list", false, "list available protocols and exit")
+		name       = flag.String("protocol", "naivemajority", "protocol to check (see -list)")
+		n          = flag.Int("n", 3, "number of processes")
+		budget     = flag.Int("budget", 200000, "max configurations per exploration")
+		stages     = flag.Int("adversary", 0, "also run the Theorem 1 adversary for this many stages")
+		workers    = flag.Int("workers", 0, "exploration workers (0 = GOMAXPROCS, 1 = sequential)")
+		skipL3     = flag.Bool("skip-lemma3", false, "skip the Lemma 3 frontier census")
+		skipAgree  = flag.Bool("skip-agreement", false, "skip the partial-correctness audit")
+		cluster    = flag.String("cluster", "", "also run a distributed reachability census: 'loopback:W' spins up W in-process workers; otherwise comma-separated flpcluster worker addresses")
+		shards     = flag.Int("cluster-shards", 0, "visited-set shards for -cluster (0 = one per worker)")
+		list       = flag.Bool("list", false, "list available protocols and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	defer profiles(*cpuprofile, *memprofile)()
 
 	if *list {
 		fmt.Println("available protocols:", strings.Join(flp.ProtocolNames(), ", "))
@@ -279,6 +284,37 @@ func findBivalent(pr flp.Protocol, opt flp.CheckOptions, unbounded bool) (*flp.C
 		}
 	}
 	return nil, nil, false
+}
+
+// profiles starts CPU profiling (when requested) and returns the function
+// that stops it and writes the heap profile — deferred by main, so fatalf
+// paths that os.Exit skip the writes by design.
+func profiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fatalf("-memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize a settled heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("-memprofile: %v", err)
+			}
+		}
+	}
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -232,6 +232,16 @@ func (a *Adversary) run(c *model.Config, inputs model.Inputs) (*Result, error) {
 // stages appends the given number of stages to res, starting from the
 // supplied configuration, tracker, and queue state.
 func (a *Adversary) stages(res *Result, cfg *model.Config, tracker *fifo.Tracker, queue []model.PID, count int) (*Result, error) {
+	// Every configuration any stage classifies lies in reach(cfg), and the
+	// reachable set only shrinks as the run advances — so one valency atlas
+	// built here answers every classification of every stage from a single
+	// O(V+E) sweep. Probe-configured adversaries target unbounded state
+	// spaces where the sweep cannot complete; they skip the attempt rather
+	// than pay a failed full-budget exploration (TryWarm would memoize the
+	// failure, but the first sweep alone is the whole cost).
+	if a.opt.Probe == nil {
+		a.cache.TryWarm(cfg)
+	}
 	res.Final = cfg
 	for stage := 0; stage < count; stage++ {
 		p := queue[0]

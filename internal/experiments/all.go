@@ -69,6 +69,7 @@ func Suite(s Sizes) []Runner {
 		{"E17", func() (*Table, error) { return E17Multivalued(s.E17Seeds) }},
 		{"E18", func() (*Table, error) { return E18Election(0) }},
 		{"E19", E19DistExplore},
+		{"E20", E20ValencyAtlas},
 	}
 }
 

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+)
+
+// E20 benchmarks the valency atlas against per-configuration
+// classification on the census kernels the suite actually runs: the E2
+// initial-valency census and the E11 agreement sweep — both restated as
+// "classify every reachable configuration of every initial configuration"
+// — plus one Lemma 3 frontier census. The per-config side pays one
+// breadth-first search per configuration, O(V·(V+E)) per census; the atlas
+// side builds the reachable graph once per root and classifies all of its
+// nodes from two backward passes, O(V+E). Both sides are timed end to end
+// (enumeration and build included) at one worker, and their census tallies
+// must agree exactly.
+
+// ValencyBenchRow is one kernel's timing comparison; serialized into
+// BENCH_valency.json by cmd/flpbench.
+type ValencyBenchRow struct {
+	Kernel      string  `json:"kernel"`
+	Protocols   string  `json:"protocols"`
+	Configs     int     `json:"configs"`
+	PerConfigMS float64 `json:"per_config_ms"`
+	AtlasMS     float64 `json:"atlas_ms"`
+	Speedup     float64 `json:"speedup"`
+	Agree       bool    `json:"agree"`
+}
+
+// ValencyBench is the machine-readable form of the E20 table.
+type ValencyBench struct {
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Rows       []ValencyBenchRow `json:"rows"`
+}
+
+// E20ValencyAtlas is the Suite entry point (table only).
+func E20ValencyAtlas() (*Table, error) {
+	t, _, err := E20ValencyAtlasBench()
+	return t, err
+}
+
+// E20ValencyAtlasBench runs the comparison and returns both the printable
+// table and the JSON-serializable result.
+func E20ValencyAtlasBench() (*Table, *ValencyBench, error) {
+	t := &Table{
+		ID:      "E20",
+		Title:   "Valency atlas: whole-graph classification vs one BFS per configuration (1 worker)",
+		Columns: []string{"kernel", "protocols", "configs", "per-config", "atlas", "speedup", "agree"},
+	}
+	bench := &ValencyBench{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	e2 := []model.Protocol{protocols.NewNaiveMajority(3)}
+	e11 := []model.Protocol{
+		protocols.NewTrivial0(3),
+		protocols.NewWaitAll(3),
+		protocols.NewNaiveMajority(3),
+		protocols.NewTwoPhaseCommit(3),
+	}
+	rows := []struct {
+		kernel string
+		prs    []model.Protocol
+	}{
+		{"E2 initial-valency census", e2},
+		{"E11 agreement sweep", e11},
+	}
+	for _, k := range rows {
+		row, err := censusKernel(k.kernel, k.prs)
+		if err != nil {
+			return nil, nil, err
+		}
+		addValencyRow(t, bench, row)
+	}
+	row, err := lemma3Kernel()
+	if err != nil {
+		return nil, nil, err
+	}
+	addValencyRow(t, bench, row)
+
+	t.AddNote("per-config enumerates each root's reachable set and runs one budgeted BFS per member; atlas builds each graph once and reads all classes from two backward passes")
+	t.AddNote("the lemma3 kernel classifies the full frontier D for each null event from one bivalent C — the shape flpcheck and the Theorem 1 adversary pay per stage")
+	return t, bench, nil
+}
+
+func addValencyRow(t *Table, bench *ValencyBench, row ValencyBenchRow) {
+	t.AddRow(row.Kernel, row.Protocols, row.Configs,
+		fmt.Sprintf("%.1fms", row.PerConfigMS), fmt.Sprintf("%.1fms", row.AtlasMS),
+		fmt.Sprintf("%.1fx", row.Speedup), row.Agree)
+	bench.Rows = append(bench.Rows, row)
+}
+
+// censusKernel classifies every configuration reachable from every initial
+// configuration of every listed protocol, both ways.
+func censusKernel(kernel string, prs []model.Protocol) (ValencyBenchRow, error) {
+	opt := explore.Options{Workers: 1}
+	names := ""
+	for i, pr := range prs {
+		if i > 0 {
+			names += "+"
+		}
+		names += pr.Name()
+	}
+
+	perCounts := make(map[explore.Valency]int)
+	total := 0
+	start := time.Now()
+	for _, pr := range prs {
+		for _, in := range model.AllInputs(pr.N()) {
+			root, err := model.Initial(pr, in)
+			if err != nil {
+				return ValencyBenchRow{}, err
+			}
+			var cfgs []*model.Config
+			explore.Explore(pr, root, opt, nil, func(c *model.Config, _ int, _ func() model.Schedule) bool {
+				cfgs = append(cfgs, c)
+				return false
+			})
+			total += len(cfgs)
+			for _, c := range cfgs {
+				perCounts[explore.Classify(pr, c, opt).Valency]++
+			}
+		}
+	}
+	perD := time.Since(start)
+
+	atlasCounts := make(map[explore.Valency]int)
+	start = time.Now()
+	for _, pr := range prs {
+		for _, in := range model.AllInputs(pr.N()) {
+			root, err := model.Initial(pr, in)
+			if err != nil {
+				return ValencyBenchRow{}, err
+			}
+			a, ok := explore.BuildAtlas(pr, root, opt)
+			if !ok {
+				return ValencyBenchRow{}, fmt.Errorf("experiments: E20: atlas refused %s inputs %s", pr.Name(), in)
+			}
+			for v, n := range a.Census() {
+				atlasCounts[v] += n
+			}
+		}
+	}
+	atlasD := time.Since(start)
+
+	return ValencyBenchRow{
+		Kernel:      kernel,
+		Protocols:   names,
+		Configs:     total,
+		PerConfigMS: float64(perD.Microseconds()) / 1000,
+		AtlasMS:     float64(atlasD.Microseconds()) / 1000,
+		Speedup:     float64(perD) / float64(atlasD),
+		Agree:       valencyCountsEqual(perCounts, atlasCounts),
+	}, nil
+}
+
+// lemma3Kernel runs the Lemma 3 frontier census for every null event from
+// naivemajority's first bivalent initial configuration: per-config exactly
+// as the pre-atlas CensusLemma3 did (one shared cache, one BFS per cache
+// miss), against the atlas-backed CensusLemma3.
+func lemma3Kernel() (ValencyBenchRow, error) {
+	pr := protocols.NewNaiveMajority(3)
+	opt := explore.Options{Workers: 1}
+	c, _, ok := explore.FindBivalentInitial(pr, opt)
+	if !ok {
+		return ValencyBenchRow{}, fmt.Errorf("experiments: E20: no bivalent initial configuration")
+	}
+	events := make([]model.Event, pr.N())
+	for p := range events {
+		events[p] = model.NullEvent(model.PID(p))
+	}
+
+	perCounts := make(map[explore.Valency]int)
+	total := 0
+	start := time.Now()
+	cache := explore.NewCache(pr, opt)
+	for _, e := range events {
+		explore.Explore(pr, c, opt, &e, func(E *model.Config, _ int, _ func() model.Schedule) bool {
+			D := model.MustApply(pr, E, e)
+			perCounts[cache.Classify(D).Valency]++
+			total++
+			return false
+		})
+	}
+	perD := time.Since(start)
+
+	atlasCounts := make(map[explore.Valency]int)
+	start = time.Now()
+	warmed := explore.NewCache(pr, opt)
+	for _, e := range events {
+		res, err := explore.CensusLemma3(pr, c, e, opt, warmed)
+		if err != nil {
+			return ValencyBenchRow{}, err
+		}
+		for v, n := range res.DValencies {
+			atlasCounts[v] += n
+		}
+	}
+	atlasD := time.Since(start)
+
+	return ValencyBenchRow{
+		Kernel:      "Lemma 3 frontier census (3 null events)",
+		Protocols:   pr.Name(),
+		Configs:     total,
+		PerConfigMS: float64(perD.Microseconds()) / 1000,
+		AtlasMS:     float64(atlasD.Microseconds()) / 1000,
+		Speedup:     float64(perD) / float64(atlasD),
+		Agree:       valencyCountsEqual(perCounts, atlasCounts),
+	}, nil
+}
+
+func valencyCountsEqual(a, b map[explore.Valency]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -461,11 +461,34 @@ func TestE19DistExploreShape(t *testing.T) {
 	}
 }
 
+func TestE20ValencyAtlasShape(t *testing.T) {
+	tab, bench, err := experiments.E20ValencyAtlasBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 || len(bench.Rows) != 3 {
+		t.Fatalf("E20 has %d table rows / %d bench rows, want 3/3", len(tab.Rows), len(bench.Rows))
+	}
+	for i, r := range bench.Rows {
+		// Correctness only — the timing ratio is asserted by the acceptance
+		// run, not the unit test (CI machines are too noisy to gate on).
+		if !r.Agree {
+			t.Errorf("row %d (%s): census tallies diverged between per-config and atlas", i, r.Kernel)
+		}
+		if r.Configs <= 0 {
+			t.Errorf("row %d (%s): no configurations classified", i, r.Kernel)
+		}
+		if got, _ := tab.Cell(i, "agree"); got != "true" {
+			t.Errorf("row %d: table reports agree = %q", i, got)
+		}
+	}
+}
+
 func TestSuiteAndRunByID(t *testing.T) {
 	s := experiments.DefaultSizes()
 	suite := experiments.Suite(s)
-	if len(suite) != 19 {
-		t.Fatalf("suite has %d experiments, want 19", len(suite))
+	if len(suite) != 20 {
+		t.Fatalf("suite has %d experiments, want 20", len(suite))
 	}
 	ids := map[string]bool{}
 	for _, r := range suite {

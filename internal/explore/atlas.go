@@ -1,0 +1,436 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/flpsim/flp/internal/model"
+)
+
+// Atlas is a one-pass valency classification of an entire reachable
+// configuration graph: the graph is materialized once (breadth-first from
+// the root, the same expansion and admission rules as every engine in this
+// package, so node order is byte-identical to Explore's visit order at any
+// worker count), successor and predecessor adjacency is recorded in
+// struct-of-arrays form keyed by dense node id, and every node's
+// {reaches-a-0-decision, reaches-a-1-decision} bits are computed by one
+// backward breadth-first propagation per decision value over the reverse
+// edges. That classifies all V nodes exactly — 0-valent, 1-valent,
+// bivalent, or stuck — in O(V+E), where the per-configuration Classify
+// costs O(V+E) for a single node.
+//
+// An Atlas exists only for exhausted reachable sets: BuildAtlas reports
+// ok=false instead of returning a truncated graph, so every answer an Atlas
+// gives is exact and callers fall back to budgeted per-configuration
+// classification exactly when the state space exceeds the budget. The
+// backward distances double as shortest-witness lengths; witness schedules
+// are recovered on demand by walking forward edges along decreasing
+// distance, which makes every witness shortest in event count — the same
+// length Classify's breadth-first search produces.
+//
+// An Atlas is immutable after construction and safe for concurrent use.
+type Atlas struct {
+	pr   model.Protocol
+	opt  Options
+	root *model.Config
+
+	// index maps configurations to dense node ids (the interner tag is the
+	// id). Node ids are assigned in breadth-first admission order; the root
+	// is node 0.
+	index *model.Interner
+	cfgs  []*model.Config
+	depth []int32
+
+	// parent/parentVia are the breadth-first tree links: the node each
+	// configuration was first reached from and the event that reached it.
+	// They recover a shortest root-to-node schedule without storing one.
+	parent    []int32
+	parentVia []model.Event
+
+	// Successor adjacency in CSR (compressed sparse row) form: node u's
+	// out-edges are succTo[succStart[u]:succStart[u+1]] with event labels
+	// succVia at the same indices, in canonical event order. Edges to
+	// already-visited configurations are recorded too — valency is a
+	// reachability property, and the breadth-first tree alone does not
+	// carry cross-edge reachability.
+	succStart []int32
+	succTo    []int32
+	succVia   []model.Event
+
+	// Predecessor adjacency in CSR form: node v's in-edges are
+	// predFrom[predStart[v]:predStart[v+1]]; predEdge holds each in-edge's
+	// index into the successor arrays, so its event label is
+	// succVia[predEdge[i]].
+	predStart []int32
+	predFrom  []int32
+	predEdge  []int32
+
+	// dist0[u] / dist1[u] is the length of a shortest schedule from u to a
+	// configuration containing decision value 0 / 1, or -1 when none is
+	// reachable. These are the decision bits: has0 = dist0 ≥ 0.
+	dist0 []int32
+	dist1 []int32
+}
+
+// BuildAtlas materializes the reachable configuration graph of pr from
+// root and classifies every node, within opt's budget. It reports ok=false
+// — and builds nothing usable — when the reachable set exceeds
+// opt.MaxConfigs or when opt.MaxDepth is set (depth-bounded reachability is
+// root-relative, which a shared graph cannot answer); callers then fall
+// back to per-configuration Classify under the same options, which is
+// byte-identical in valency, exactness, and witness length whenever the
+// atlas would have been available.
+//
+// The build honours opt.Workers exactly like ExploreFiltered: node
+// expansion runs level-synchronously on a worker pool while a single
+// coordinator merges successors in canonical order, so node ids, edges,
+// and witnesses are byte-identical at every worker count.
+func BuildAtlas(pr model.Protocol, root *model.Config, opt Options) (*Atlas, bool) {
+	opt = opt.withDefaults()
+	if opt.MaxDepth != 0 || opt.MaxConfigs >= math.MaxInt32 {
+		return nil, false
+	}
+	a := &Atlas{
+		pr:    pr,
+		opt:   opt,
+		root:  root,
+		index: model.NewInterner(),
+	}
+	led := NewLedger(opt)
+	a.index.InternTag(root, 0)
+	a.admit(root, -1, model.Event{})
+	a.succStart = append(a.succStart, 0) // CSR sentinel: node u's edges are succStart[u]:succStart[u+1]
+
+	expand := func(n node) []Successor { return ExpandConfig(pr, n.cfg, nil) }
+	for start, end := 0, 1; start < end; start, end = end, len(a.cfgs) {
+		var exps [][]Successor
+		if opt.Workers > 1 {
+			level := make([]node, end-start)
+			for i := range level {
+				level[i] = node{cfg: a.cfgs[start+i]}
+			}
+			exps = expandLevel(level, expand, opt.Workers)
+		}
+		for u := start; u < end; u++ {
+			var succs []Successor
+			if exps != nil {
+				succs = exps[u-start]
+			} else {
+				succs = ExpandConfig(pr, a.cfgs[u], nil)
+			}
+			for _, s := range succs {
+				id := int32(len(a.cfgs))
+				if got, fresh := a.index.InternTag(s.Cfg, uint64(id)); fresh {
+					if !led.Admit() {
+						return nil, false // budget exceeded: no truncated atlases
+					}
+					a.admit(s.Cfg, int32(u), s.Via)
+				} else {
+					id = int32(got)
+				}
+				a.succTo = append(a.succTo, id)
+				a.succVia = append(a.succVia, s.Via)
+			}
+			a.succStart = append(a.succStart, int32(len(a.succTo)))
+		}
+	}
+
+	a.buildPred()
+	a.dist0 = a.distToValue(model.V0)
+	a.dist1 = a.distToValue(model.V1)
+	return a, true
+}
+
+// admit appends one node's struct-of-arrays entries (everything except the
+// successor CSR, which closes when the node is expanded).
+func (a *Atlas) admit(c *model.Config, parent int32, via model.Event) {
+	d := int32(0)
+	if parent >= 0 {
+		d = a.depth[parent] + 1
+	}
+	a.cfgs = append(a.cfgs, c)
+	a.depth = append(a.depth, d)
+	a.parent = append(a.parent, parent)
+	a.parentVia = append(a.parentVia, via)
+}
+
+// buildPred inverts the successor CSR into the predecessor CSR by the
+// usual two-pass count-then-fill.
+func (a *Atlas) buildPred() {
+	V := len(a.cfgs)
+	a.predStart = make([]int32, V+1)
+	for _, v := range a.succTo {
+		a.predStart[v+1]++
+	}
+	for i := 0; i < V; i++ {
+		a.predStart[i+1] += a.predStart[i]
+	}
+	a.predFrom = make([]int32, len(a.succTo))
+	a.predEdge = make([]int32, len(a.succTo))
+	cur := make([]int32, V)
+	copy(cur, a.predStart[:V])
+	for u := 0; u < V; u++ {
+		for ei := a.succStart[u]; ei < a.succStart[u+1]; ei++ {
+			v := a.succTo[ei]
+			a.predFrom[cur[v]] = int32(u)
+			a.predEdge[cur[v]] = ei
+			cur[v]++
+		}
+	}
+}
+
+// distToValue is the backward propagation: a multi-source breadth-first
+// search over reverse edges from every node whose configuration contains
+// decision value val. dist[u] is then the length of a shortest schedule
+// from u to a val-decision, -1 when unreachable — node u's "has val" bit
+// and witness length in one array.
+func (a *Atlas) distToValue(val model.Value) []int32 {
+	seed := func(c *model.Config) bool {
+		for _, d := range c.DecisionValues() {
+			if d == val {
+				return true
+			}
+		}
+		return false
+	}
+	return a.backwardBFS(seed, nil)
+}
+
+// backwardBFS runs the shared reverse fixpoint: dist 0 at every seed node,
+// +1 across each usable reverse edge. A nil usable admits every edge;
+// distDecidedAvoiding passes the p-free restriction.
+func (a *Atlas) backwardBFS(seed func(*model.Config) bool, usable func(model.Event) bool) []int32 {
+	V := len(a.cfgs)
+	dist := make([]int32, V)
+	queue := make([]int32, 0, V)
+	for i := range dist {
+		if seed(a.cfgs[i]) {
+			queue = append(queue, int32(i))
+		} else {
+			dist[i] = -1
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		for ei := a.predStart[v]; ei < a.predStart[v+1]; ei++ {
+			u := a.predFrom[ei]
+			if dist[u] >= 0 {
+				continue
+			}
+			if usable != nil && !usable(a.succVia[a.predEdge[ei]]) {
+				continue
+			}
+			dist[u] = dist[v] + 1
+			queue = append(queue, u)
+		}
+	}
+	return dist
+}
+
+// distDecidedAvoiding returns, for every node, the length of a shortest
+// schedule to a configuration with any decision value in which process p
+// takes no steps, -1 when no such run exists. This is the σ of the Lemma 3
+// proof's Case 2 ("some finite deciding run from C0 in which p takes no
+// steps"), answered for all nodes by one backward pass instead of one
+// forward search per node.
+func (a *Atlas) distDecidedAvoiding(p model.PID) []int32 {
+	seed := func(c *model.Config) bool { return len(c.DecisionValues()) > 0 }
+	return a.backwardBFS(seed, func(e model.Event) bool { return e.P != p })
+}
+
+// Len returns the number of nodes — the size of the exhausted reachable
+// set.
+func (a *Atlas) Len() int { return len(a.cfgs) }
+
+// Edges returns the number of recorded transitions.
+func (a *Atlas) Edges() int { return len(a.succTo) }
+
+// Root returns the configuration the atlas was built from.
+func (a *Atlas) Root() *model.Config { return a.root }
+
+// Config returns the configuration of node id.
+func (a *Atlas) Config(id int32) *model.Config { return a.cfgs[id] }
+
+// IDOf returns the node id of c. Every configuration reachable from the
+// root is present; ok=false means c is not reachable from the root (or is
+// the product of a different protocol).
+func (a *Atlas) IDOf(c *model.Config) (int32, bool) {
+	tag, ok := a.index.Tag(c)
+	if !ok {
+		return 0, false
+	}
+	return int32(tag), true
+}
+
+// ValencyAt returns the exact valency class of node id.
+func (a *Atlas) ValencyAt(id int32) Valency {
+	has0, has1 := a.dist0[id] >= 0, a.dist1[id] >= 0
+	switch {
+	case has0 && has1:
+		return Bivalent
+	case has0:
+		return ZeroValent
+	case has1:
+		return OneValent
+	default:
+		return Stuck
+	}
+}
+
+// WitnessLen returns the length of a shortest schedule from node id to a
+// configuration containing decision value d, ok=false when no d-decision is
+// reachable. It equals the witness length Classify's breadth-first search
+// finds, without materializing the schedule.
+func (a *Atlas) WitnessLen(id int32, d model.Value) (int, bool) {
+	dist := a.distFor(d)
+	if dist[id] < 0 {
+		return 0, false
+	}
+	return int(dist[id]), true
+}
+
+// Witness returns a shortest schedule from node id to a configuration
+// containing decision value d, ok=false when none is reachable. Recovery
+// walks forward edges in canonical order along strictly decreasing
+// backward distance, so the schedule is deterministic and shortest.
+func (a *Atlas) Witness(id int32, d model.Value) (model.Schedule, bool) {
+	dist := a.distFor(d)
+	if dist[id] < 0 {
+		return nil, false
+	}
+	return a.descend(id, dist), true
+}
+
+func (a *Atlas) distFor(d model.Value) []int32 {
+	if d == model.V0 {
+		return a.dist0
+	}
+	return a.dist1
+}
+
+// descend recovers a shortest schedule from u to a dist-0 node by greedy
+// descent: at each step, the first out-edge in canonical order whose head
+// is one closer. The backward search guarantees such an edge exists at
+// every node with dist > 0.
+func (a *Atlas) descend(u int32, dist []int32) model.Schedule {
+	return a.descendWhere(u, dist, nil)
+}
+
+// descendWhere is descend restricted to edges accepted by usable — the
+// filter must be the one the dist array was computed under, so that a
+// usable edge one closer exists at every node with dist > 0.
+func (a *Atlas) descendWhere(u int32, dist []int32, usable func(model.Event) bool) model.Schedule {
+	sigma := make(model.Schedule, 0, dist[u])
+	for dist[u] > 0 {
+		next := int32(-1)
+		for ei := a.succStart[u]; ei < a.succStart[u+1]; ei++ {
+			if usable != nil && !usable(a.succVia[ei]) {
+				continue
+			}
+			if v := a.succTo[ei]; dist[v] >= 0 && dist[v] == dist[u]-1 {
+				sigma = append(sigma, a.succVia[ei])
+				next = v
+				break
+			}
+		}
+		if next < 0 {
+			panic(fmt.Sprintf("explore: atlas distance invariant broken at node %d", u))
+		}
+		u = next
+	}
+	return sigma
+}
+
+// PathTo returns a shortest schedule from the root to node id, recovered
+// from the breadth-first tree's parent pointers.
+func (a *Atlas) PathTo(id int32) model.Schedule {
+	sigma := make(model.Schedule, a.depth[id])
+	for i := id; a.parent[i] >= 0; i = a.parent[i] {
+		sigma[a.depth[i]-1] = a.parentVia[i]
+	}
+	return sigma
+}
+
+// InfoAt returns node id's full classification with witness schedules, in
+// the same shape Classify produces. Valency, exactness, and witness
+// lengths match a per-configuration Classify under any budget that covers
+// the node's reachable set; Visited and the witness schedules themselves
+// may differ (the atlas reports the shared graph's size and recovers its
+// own — equally shortest — witnesses).
+func (a *Atlas) InfoAt(id int32) ValencyInfo {
+	info := ValencyInfo{
+		Valency:  a.ValencyAt(id),
+		Exact:    true,
+		Complete: true,
+		Visited:  a.Len(),
+		hasZero:  a.dist0[id] >= 0,
+		hasOne:   a.dist1[id] >= 0,
+	}
+	if info.hasZero {
+		info.Witness0 = a.descend(id, a.dist0)
+	}
+	if info.hasOne {
+		info.Witness1 = a.descend(id, a.dist1)
+	}
+	return info
+}
+
+// Info is InfoAt keyed by configuration; ok=false when c is not in the
+// atlas (not reachable from the root).
+func (a *Atlas) Info(c *model.Config) (ValencyInfo, bool) {
+	id, ok := a.IDOf(c)
+	if !ok {
+		return ValencyInfo{}, false
+	}
+	return a.InfoAt(id), true
+}
+
+// Census tallies the valency class of every node — the whole-graph census
+// that per-configuration classification pays O(V·(V+E)) for.
+func (a *Atlas) Census() map[Valency]int {
+	counts := make(map[Valency]int)
+	for id := range a.cfgs {
+		counts[a.ValencyAt(int32(id))]++
+	}
+	return counts
+}
+
+// succByEvent resolves e's transition out of node u on recorded adjacency:
+// the edge labeled Same(e) when present, u itself for a null event with no
+// edge (null events are skipped during expansion exactly when they are
+// no-ops, where e(u) = u), and ok=false for an unrecorded delivery (e is
+// not applicable at u).
+func (a *Atlas) succByEvent(u int32, e model.Event) (int32, bool) {
+	for ei := a.succStart[u]; ei < a.succStart[u+1]; ei++ {
+		if a.succVia[ei].Same(e) {
+			return a.succTo[ei], true
+		}
+	}
+	if e.IsNull() {
+		return u, true
+	}
+	return 0, false
+}
+
+// frontier returns the node ids reachable from the root without applying
+// events Same as e — the Lemma 3 set ℰ — in breadth-first order, matching
+// Explore's visit order under the same avoid filter.
+func (a *Atlas) frontier(e model.Event) []int32 {
+	seen := make([]bool, len(a.cfgs))
+	order := make([]int32, 0, len(a.cfgs))
+	seen[0] = true
+	order = append(order, 0)
+	for qi := 0; qi < len(order); qi++ {
+		u := order[qi]
+		for ei := a.succStart[u]; ei < a.succStart[u+1]; ei++ {
+			if a.succVia[ei].Same(e) {
+				continue
+			}
+			if v := a.succTo[ei]; !seen[v] {
+				seen[v] = true
+				order = append(order, v)
+			}
+		}
+	}
+	return order
+}

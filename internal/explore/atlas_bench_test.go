@@ -1,0 +1,98 @@
+package explore_test
+
+import (
+	"testing"
+
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+)
+
+// The benchmark pair measures the whole-graph census both ways: classify
+// every reachable configuration by one per-configuration breadth-first
+// search each (O(V·(V+E)), the pre-atlas cost) versus one atlas build that
+// answers all of them (O(V+E)). `make bench-valency` runs both.
+
+func benchProtocols(b *testing.B) []struct {
+	name string
+	pr   model.Protocol
+	inp  model.Inputs
+} {
+	b.Helper()
+	return []struct {
+		name string
+		pr   model.Protocol
+		inp  model.Inputs
+	}{
+		{"naivemajority3", protocols.NewNaiveMajority(3), model.Inputs{0, 1, 1}},
+		{"2pc3", protocols.NewTwoPhaseCommit(3), model.Inputs{1, 1, 0}},
+	}
+}
+
+func BenchmarkValencyPerConfig(b *testing.B) {
+	for _, tc := range benchProtocols(b) {
+		b.Run(tc.name, func(b *testing.B) {
+			opt := explore.Options{Workers: 1}
+			root := model.MustInitial(tc.pr, tc.inp)
+			a, ok := explore.BuildAtlas(tc.pr, root, opt)
+			if !ok {
+				b.Fatal("fixture exceeds budget")
+			}
+			cfgs := make([]*model.Config, a.Len())
+			for id := range cfgs {
+				cfgs[id] = a.Config(int32(id))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				counts := make(map[explore.Valency]int)
+				for _, c := range cfgs {
+					counts[explore.Classify(tc.pr, c, opt).Valency]++
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAtlasCensus(b *testing.B) {
+	for _, tc := range benchProtocols(b) {
+		b.Run(tc.name, func(b *testing.B) {
+			opt := explore.Options{Workers: 1}
+			root := model.MustInitial(tc.pr, tc.inp)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, ok := explore.BuildAtlas(tc.pr, root, opt)
+				if !ok {
+					b.Fatal("fixture exceeds budget")
+				}
+				_ = a.Census()
+			}
+		})
+	}
+}
+
+// BenchmarkAtlasWarmedCache measures the adversary's configuration: one
+// build, then every classification answered from the warmed cache.
+func BenchmarkAtlasWarmedCache(b *testing.B) {
+	for _, tc := range benchProtocols(b) {
+		b.Run(tc.name, func(b *testing.B) {
+			opt := explore.Options{Workers: 1}
+			root := model.MustInitial(tc.pr, tc.inp)
+			a, ok := explore.BuildAtlas(tc.pr, root, opt)
+			if !ok {
+				b.Fatal("fixture exceeds budget")
+			}
+			cfgs := make([]*model.Config, a.Len())
+			for id := range cfgs {
+				cfgs[id] = a.Config(int32(id))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cache := explore.NewCache(tc.pr, opt)
+				cache.Warm(a)
+				for _, c := range cfgs {
+					cache.Classify(c)
+				}
+			}
+		})
+	}
+}

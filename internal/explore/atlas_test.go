@@ -1,0 +1,295 @@
+package explore_test
+
+import (
+	"testing"
+
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+)
+
+// atlasFixtureN gives every registry protocol its smallest valid size, so
+// the differential below covers the whole registry and fails loudly when a
+// new protocol is registered without a fixture here.
+var atlasFixtureN = map[string]int{
+	"trivial0":      2,
+	"waitall":       3,
+	"naivemajority": 3,
+	"2pc":           3,
+	"3pc":           3,
+	"paxos":         3,
+	"benor":         2,
+	"onethird":      4,
+}
+
+// finiteFixtures are the registry protocols whose reachable sets are known
+// to fit the differential budget; the atlas MUST build for these.
+var finiteFixtures = map[string]bool{
+	"trivial0":      true,
+	"waitall":       true,
+	"naivemajority": true,
+	"2pc":           true,
+	"3pc":           true,
+}
+
+// atlasTestBudget comfortably covers every finite fixture (the largest,
+// naivemajority(3), has 1128 reachable configurations) while keeping the
+// refusal sweeps of the unbounded fixtures cheap.
+const atlasTestBudget = 3000
+
+func registryFixture(t *testing.T, name string) model.Protocol {
+	t.Helper()
+	n, ok := atlasFixtureN[name]
+	if !ok {
+		t.Fatalf("registry protocol %q has no fixture size; extend atlasFixtureN", name)
+	}
+	factory, ok := protocols.Lookup(name)
+	if !ok {
+		t.Fatalf("registry lost protocol %q", name)
+	}
+	pr, err := factory(n)
+	if err != nil {
+		t.Fatalf("building %s(%d): %v", name, n, err)
+	}
+	return pr
+}
+
+func schedulesEqual(a, b model.Schedule) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Same(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAtlasDifferentialAgainstClassify is the atlas's correctness contract:
+// for every registry protocol and every initial input vector, every node of
+// the atlas must classify identically to a per-configuration Classify under
+// the same budget — same valency, same exactness, same witness presence,
+// and same (shortest) witness lengths. Worker counts 1 and 8 must build
+// byte-identical atlases. Protocols whose state spaces exceed the budget
+// must refuse to build at every worker count — the per-config fallback is
+// then the only path, and there is nothing to differ.
+func TestAtlasDifferentialAgainstClassify(t *testing.T) {
+	for _, name := range protocols.Names() {
+		t.Run(name, func(t *testing.T) {
+			pr := registryFixture(t, name)
+			opt1 := explore.Options{MaxConfigs: atlasTestBudget, Workers: 1}
+			opt8 := explore.Options{MaxConfigs: atlasTestBudget, Workers: 8}
+			built := 0
+			for _, inp := range model.AllInputs(pr.N()) {
+				root := model.MustInitial(pr, inp)
+				a1, ok1 := explore.BuildAtlas(pr, root, opt1)
+				a8, ok8 := explore.BuildAtlas(pr, root, opt8)
+				if ok1 != ok8 {
+					t.Fatalf("inputs %s: atlas built at 1 worker = %v but at 8 workers = %v", inp, ok1, ok8)
+				}
+				if !ok1 {
+					if finiteFixtures[name] {
+						t.Fatalf("inputs %s: atlas refused to build for a finite protocol within budget %d", inp, atlasTestBudget)
+					}
+					// Over-budget root: the remaining inputs are the same
+					// size; skip them rather than paying more failed sweeps.
+					break
+				}
+				built++
+				diffAtlasPair(t, a1, a8, inp)
+				diffAtlasVsClassify(t, pr, a1, opt1, inp)
+			}
+			if finiteFixtures[name] && built != len(model.AllInputs(pr.N())) {
+				t.Errorf("built %d atlases, want one per input vector", built)
+			}
+		})
+	}
+}
+
+// diffAtlasPair checks worker-count determinism: two atlases of the same
+// root must agree node for node, including recovered witness schedules.
+func diffAtlasPair(t *testing.T, a1, a8 *explore.Atlas, inp model.Inputs) {
+	t.Helper()
+	if a1.Len() != a8.Len() || a1.Edges() != a8.Edges() {
+		t.Fatalf("inputs %s: workers 1 vs 8 disagree on size: %d/%d nodes, %d/%d edges",
+			inp, a1.Len(), a8.Len(), a1.Edges(), a8.Edges())
+	}
+	for id := int32(0); id < int32(a1.Len()); id++ {
+		cfg := a1.Config(id)
+		id8, ok := a8.IDOf(cfg)
+		if !ok || id8 != id {
+			t.Fatalf("inputs %s: node %d not at the same id in the 8-worker atlas (got %d, ok=%v)", inp, id, id8, ok)
+		}
+		i1, i8 := a1.InfoAt(id), a8.InfoAt(id)
+		if i1.Valency != i8.Valency || i1.Exact != i8.Exact ||
+			!schedulesEqual(i1.Witness0, i8.Witness0) || !schedulesEqual(i1.Witness1, i8.Witness1) {
+			t.Fatalf("inputs %s node %d: workers 1 vs 8 disagree: %+v vs %+v", inp, id, i1, i8)
+		}
+		if !schedulesEqual(a1.PathTo(id), a8.PathTo(id)) {
+			t.Fatalf("inputs %s node %d: root paths differ between worker counts", inp, id)
+		}
+	}
+}
+
+// diffAtlasVsClassify compares every atlas node against per-configuration
+// Classify and replays every recovered witness.
+func diffAtlasVsClassify(t *testing.T, pr model.Protocol, a *explore.Atlas, opt explore.Options, inp model.Inputs) {
+	t.Helper()
+	for id := int32(0); id < int32(a.Len()); id++ {
+		cfg := a.Config(id)
+		got := a.InfoAt(id)
+		want := explore.Classify(pr, cfg, opt)
+		if got.Valency != want.Valency {
+			t.Fatalf("inputs %s node %d: atlas says %s, Classify says %s", inp, id, got.Valency, want.Valency)
+		}
+		// Exactness must match; Complete may not — Classify stops as soon as
+		// both decision values are seen, so a bivalent node reports
+		// Complete=false while the atlas, which exhausted the reachable set
+		// by construction, truthfully reports Complete=true.
+		if got.Exact != want.Exact {
+			t.Fatalf("inputs %s node %d: exact = %v, Classify = %v", inp, id, got.Exact, want.Exact)
+		}
+		for _, d := range []model.Value{model.V0, model.V1} {
+			if got.HasWitness(d) != want.HasWitness(d) {
+				t.Fatalf("inputs %s node %d: HasWitness(%v) = %v, Classify = %v",
+					inp, id, d, got.HasWitness(d), want.HasWitness(d))
+			}
+			wl, ok := a.WitnessLen(id, d)
+			if ok != got.HasWitness(d) {
+				t.Fatalf("inputs %s node %d: WitnessLen ok=%v but HasWitness=%v", inp, id, ok, got.HasWitness(d))
+			}
+			if !ok {
+				continue
+			}
+			// Both searches are breadth-first, so witness lengths must match
+			// exactly even though the schedules themselves may differ.
+			wantW := want.Witness0
+			gotW := got.Witness0
+			if d == model.V1 {
+				wantW, gotW = want.Witness1, got.Witness1
+			}
+			if len(gotW) != wl || len(wantW) != wl {
+				t.Fatalf("inputs %s node %d: witness(%v) lengths atlas=%d classify=%d distance=%d",
+					inp, id, d, len(gotW), len(wantW), wl)
+			}
+			// Replay: the atlas's witness must actually reach a d-decision.
+			end := model.MustApplySchedule(pr, cfg, gotW)
+			found := false
+			for _, dv := range end.DecisionValues() {
+				if dv == d {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("inputs %s node %d: witness(%v) replay does not reach a %v decision", inp, id, d, d)
+			}
+		}
+	}
+}
+
+// TestAtlasPathToReplaysToNode checks the breadth-first tree: PathTo(id)
+// must replay from the root to exactly node id's configuration.
+func TestAtlasPathToReplaysToNode(t *testing.T) {
+	pr := protocols.NewNaiveMajority(3)
+	root := model.MustInitial(pr, in(0, 1, 1))
+	a, ok := explore.BuildAtlas(pr, root, explore.Options{})
+	if !ok {
+		t.Fatal("atlas refused to build on the finite fixture")
+	}
+	for id := int32(0); id < int32(a.Len()); id++ {
+		end := model.MustApplySchedule(pr, root, a.PathTo(id))
+		if !end.Equal(a.Config(id)) {
+			t.Fatalf("node %d: PathTo does not replay to the node's configuration", id)
+		}
+	}
+}
+
+// TestAtlasStuck covers the V = ∅ class: a protocol that never decides
+// classifies every node Stuck, identically to Classify.
+func TestAtlasStuck(t *testing.T) {
+	pr := muteProto{}
+	root := model.MustInitial(pr, in(0, 1))
+	a, ok := explore.BuildAtlas(pr, root, explore.Options{})
+	if !ok {
+		t.Fatal("atlas refused to build the mute protocol")
+	}
+	census := a.Census()
+	if census[explore.Stuck] != a.Len() || a.Len() == 0 {
+		t.Fatalf("census = %v over %d nodes, want all stuck", census, a.Len())
+	}
+	info, ok := a.Info(root)
+	if !ok || info.Valency != explore.Stuck || !info.Exact {
+		t.Fatalf("root info = %+v, ok=%v; want exact stuck", info, ok)
+	}
+}
+
+// TestBuildAtlasRefusals pins the fallback conditions: depth-bounded
+// options and over-budget state spaces must refuse, not truncate.
+func TestBuildAtlasRefusals(t *testing.T) {
+	pr := protocols.NewNaiveMajority(3)
+	root := model.MustInitial(pr, in(0, 1, 1))
+	if _, ok := explore.BuildAtlas(pr, root, explore.Options{MaxDepth: 3}); ok {
+		t.Error("depth-bounded atlas accepted; depth is root-relative and must refuse")
+	}
+	if _, ok := explore.BuildAtlas(pr, root, explore.Options{MaxConfigs: 10}); ok {
+		t.Error("over-budget atlas accepted; truncated atlases must not exist")
+	}
+	if a, ok := explore.BuildAtlas(pr, root, explore.Options{}); !ok || a.Len() == 0 {
+		t.Error("unbounded-budget atlas refused on a finite protocol")
+	}
+}
+
+// TestCacheWarmAnswersFromAtlas checks the Cache integration: a warmed
+// cache must answer every covered configuration as a hit without running a
+// single per-configuration classification.
+func TestCacheWarmAnswersFromAtlas(t *testing.T) {
+	pr := protocols.NewNaiveMajority(3)
+	root := model.MustInitial(pr, in(0, 1, 1))
+	opt := explore.Options{}
+	a, ok := explore.BuildAtlas(pr, root, opt)
+	if !ok {
+		t.Fatal("atlas refused to build")
+	}
+	cache := explore.NewCache(pr, opt)
+	cache.Warm(a)
+	if !cache.Covers(root) {
+		t.Fatal("warmed cache does not cover its atlas root")
+	}
+	for id := int32(0); id < int32(a.Len()); id++ {
+		want := a.InfoAt(id)
+		got := cache.Classify(a.Config(id))
+		if got.Valency != want.Valency || got.Exact != want.Exact {
+			t.Fatalf("node %d: cache says %s/%v, atlas says %s/%v", id, got.Valency, got.Exact, want.Valency, want.Exact)
+		}
+	}
+	hits, misses := cache.Stats()
+	if misses != 0 {
+		t.Errorf("%d per-configuration classifications ran behind a full atlas (hits=%d)", misses, hits)
+	}
+}
+
+// TestCacheTryWarm pins TryWarm's contract: success on coverable roots,
+// memoized failure on over-budget ones.
+func TestCacheTryWarm(t *testing.T) {
+	pr := protocols.NewNaiveMajority(3)
+	root := model.MustInitial(pr, in(0, 1, 1))
+	cache := explore.NewCache(pr, explore.Options{})
+	if !cache.TryWarm(root) {
+		t.Fatal("TryWarm failed on a finite root")
+	}
+	if !cache.TryWarm(root) {
+		t.Fatal("second TryWarm on a covered root failed")
+	}
+
+	small := explore.NewCache(pr, explore.Options{MaxConfigs: 10})
+	if small.TryWarm(root) {
+		t.Fatal("TryWarm succeeded over budget")
+	}
+	if small.TryWarm(root) {
+		t.Fatal("memoized TryWarm failure flipped to success")
+	}
+	if info := small.Classify(root); info.Valency != explore.Unknown {
+		t.Errorf("budget-10 classification = %s, want unknown", info.Valency)
+	}
+}

@@ -35,9 +35,18 @@ type DiamondReport struct {
 // neighbor pair within ℰ (the configurations reachable from C without
 // applying e) whose connecting event is by a different process than e's.
 // It is Lemma 1 instantiated exactly where the Lemma 3 proof uses it.
+//
+// When reach(C) fits the budget the squares are checked on the valency
+// atlas's recorded adjacency — every corner is an interned node and each
+// square is four id lookups instead of four configuration applications and
+// a canonical-key comparison. Over-budget state spaces fall back to the
+// direct per-square application below.
 func CheckLemma3Diamond(pr model.Protocol, c *model.Config, e model.Event, opt Options) (DiamondReport, error) {
 	if !model.Applicable(c, e) {
 		return DiamondReport{}, fmt.Errorf("explore: event %s not applicable to C", e)
+	}
+	if atlas, ok := BuildAtlas(pr, c, opt); ok {
+		return diamondOnAtlas(atlas, e), nil
 	}
 	rep := DiamondReport{Event: e}
 	complete, _ := Explore(pr, c, opt, &e, func(C0 *model.Config, _ int, _ func() model.Schedule) bool {
@@ -62,4 +71,34 @@ func CheckLemma3Diamond(pr model.Protocol, c *model.Config, e model.Event, opt O
 	})
 	rep.Complete = complete
 	return rep, nil
+}
+
+// diamondOnAtlas checks every Figure 2 square on recorded adjacency. The
+// atlas's out-edges are exactly the applicable non-no-op events, so the
+// squares enumerated — and their count — match the direct path's; two
+// routes around a square commute iff they land on the same interned node
+// id, which is configuration equality by the interner's contract.
+func diamondOnAtlas(a *Atlas, e model.Event) DiamondReport {
+	rep := DiamondReport{Event: e, Complete: true}
+	for _, u := range a.frontier(e) {
+		d0, ok := a.succByEvent(u, e)
+		if !ok {
+			panic(fmt.Sprintf("explore: event %s not applicable to member of ℰ; model invariant broken", e))
+		}
+		for ei := a.succStart[u]; ei < a.succStart[u+1]; ei++ {
+			ePrime := a.succVia[ei]
+			if ePrime.Same(e) || ePrime.P == e.P {
+				continue
+			}
+			c1 := a.succTo[ei]
+			rep.Squares++
+			// Around the square: down-then-right vs right-then-down.
+			left, lok := a.succByEvent(d0, ePrime)
+			right, rok := a.succByEvent(c1, e)
+			if !lok || !rok || left != right {
+				rep.Violations++
+			}
+		}
+	}
+	return rep
 }

@@ -37,9 +37,21 @@ type Figure3Report struct {
 
 // CheckLemma3Figure3 verifies the Figure 3 commutations on every
 // same-process neighbor pair in the frontier of (c, e).
+//
+// The expensive step of the direct check is σ: one p-free forward search
+// per neighbor pair, O(V·(V+E)) across the frontier. When reach(C) fits
+// the budget, the valency atlas answers every pair's σ from a single
+// backward pass over the reverse edges restricted to p-free transitions
+// (distDecidedAvoiding), and the commutation equalities themselves are
+// still verified by concrete configuration application — the atlas finds
+// the runs, the model checks the arrows. Over-budget state spaces fall
+// back to the direct search below.
 func CheckLemma3Figure3(pr model.Protocol, c *model.Config, e model.Event, opt Options) (Figure3Report, error) {
 	if !model.Applicable(c, e) {
 		return Figure3Report{}, fmt.Errorf("explore: event %s not applicable to C", e)
+	}
+	if atlas, ok := BuildAtlas(pr, c, opt); ok {
+		return figure3OnAtlas(pr, atlas, e), nil
 	}
 	rep := Figure3Report{}
 	p := e.P
@@ -91,4 +103,53 @@ func CheckLemma3Figure3(pr model.Protocol, c *model.Config, e model.Event, opt O
 	})
 	rep.Complete = complete
 	return rep, nil
+}
+
+// figure3OnAtlas runs the Case 2 check with σ answered from the atlas: one
+// p-free backward pass gives every node's shortest deciding-run-without-p
+// length at once, and the run itself is recovered by p-free descent only
+// for pairs that have one. The Lemma 1 commutations are then verified on
+// concrete configurations exactly as in the direct path.
+func figure3OnAtlas(pr model.Protocol, a *Atlas, e model.Event) Figure3Report {
+	rep := Figure3Report{Complete: true}
+	p := e.P
+	pFree := func(ev model.Event) bool { return ev.P != p }
+	dist := a.distDecidedAvoiding(p)
+
+	for _, u := range a.frontier(e) {
+		var sigma model.Schedule
+		haveSigma := false
+		for ei := a.succStart[u]; ei < a.succStart[u+1]; ei++ {
+			ePrime := a.succVia[ei]
+			if ePrime.P != p || ePrime.Same(e) {
+				continue
+			}
+			rep.Pairs++
+			if dist[u] < 0 {
+				continue // no p-free deciding run from this C0
+			}
+			rep.SigmaFound++
+			if !haveSigma {
+				sigma = a.descendWhere(u, dist, pFree)
+				haveSigma = true
+			}
+
+			C0 := a.Config(u)
+			A := model.MustApplySchedule(pr, C0, sigma)
+			D0 := model.MustApply(pr, C0, e)
+			C1 := a.Config(a.succTo[ei])
+			D1 := model.MustApply(pr, C1, e)
+
+			// e(A) = σ(D0): σ avoids p, e is p's — Lemma 1.
+			if !model.MustApply(pr, A, e).Equal(model.MustApplySchedule(pr, D0, sigma)) {
+				rep.Violations++
+			}
+			// e(e'(A)) = σ(D1): same commutation through the longer arm.
+			eA := model.MustApply(pr, A, ePrime)
+			if !model.MustApply(pr, eA, e).Equal(model.MustApplySchedule(pr, D1, sigma)) {
+				rep.Violations++
+			}
+		}
+	}
+	return rep
 }

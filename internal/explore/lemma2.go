@@ -43,6 +43,14 @@ type InitialCensus struct {
 func (ic InitialCensus) HasBivalent() bool { return ic.Bivalent != nil }
 
 // CensusInitial classifies all 2^N initial configurations of pr.
+//
+// Each root whose reachable set fits the budget is classified from a
+// valency atlas: one graph sweep plus a backward pass — the same
+// exhaustive cost the univalent and stuck roots (the bulk of a census)
+// already paid under per-configuration search, now also yielding exact
+// classifications with shortest witnesses for both decision values at
+// bivalent roots. Roots whose state space exceeds the budget fall back to
+// budgeted Classify, unchanged.
 func CensusInitial(pr model.Protocol, opt Options) (InitialCensus, error) {
 	census := InitialCensus{
 		Protocol: pr.Name(),
@@ -55,7 +63,7 @@ func CensusInitial(pr model.Protocol, opt Options) (InitialCensus, error) {
 		if err != nil {
 			return census, err
 		}
-		info := Classify(pr, c, opt)
+		info := classifyRoot(pr, c, opt)
 		iv := InitialValency{Inputs: in, Info: info}
 		census.PerInput = append(census.PerInput, iv)
 		census.Counts[info.Valency]++
@@ -69,6 +77,17 @@ func CensusInitial(pr model.Protocol, opt Options) (InitialCensus, error) {
 	}
 	census.Adjacent = findAdjacentPair(census.PerInput)
 	return census, nil
+}
+
+// classifyRoot classifies one census root: from a valency atlas over its
+// reachable set when the budget allows — exact for all four classes, with
+// shortest witnesses for both decision values — and by budgeted
+// per-configuration Classify otherwise.
+func classifyRoot(pr model.Protocol, c *model.Config, opt Options) ValencyInfo {
+	if atlas, ok := BuildAtlas(pr, c, opt); ok {
+		return atlas.InfoAt(0)
+	}
+	return Classify(pr, c, opt)
 }
 
 // findAdjacentPair scans classified initial configurations for a 0-valent

@@ -31,7 +31,13 @@ type Lemma3Result struct {
 // bivalent member. For a bivalent C of a protocol within the lemma's
 // hypotheses, BivalentFound must come back true.
 //
-// cache may be nil; passing one shares classifications across calls.
+// cache may be nil; passing one shares classifications — and the valency
+// atlas the first call builds over reach(C) — across calls, which is the
+// right mode for examining several events from the same C (flpcheck's
+// Lemma 3 section) or successive stages of the adversary. With a nil
+// cache, the census classifies the whole frontier from one atlas built for
+// this call alone (or, when the state space exceeds the budget, from a
+// private per-configuration cache allocated on first use).
 func CensusLemma3(pr model.Protocol, c *model.Config, e model.Event, opt Options, cache *Cache) (Lemma3Result, error) {
 	return lemma3(pr, c, e, opt, cache, false)
 }
@@ -47,9 +53,7 @@ func lemma3(pr model.Protocol, c *model.Config, e model.Event, opt Options, cach
 	if !model.Applicable(c, e) {
 		return Lemma3Result{}, fmt.Errorf("explore: event %s not applicable to C", e)
 	}
-	if cache == nil {
-		cache = NewCache(pr, opt)
-	}
+	classify := frontierClassifier(pr, c, opt, cache, stopAtFirst)
 	res := Lemma3Result{Event: e, DValencies: make(map[Valency]int)}
 	complete, _ := Explore(pr, c, opt, &e, func(E *model.Config, _ int, path func() model.Schedule) bool {
 		res.FrontierSize++
@@ -60,9 +64,9 @@ func lemma3(pr model.Protocol, c *model.Config, e model.Event, opt Options, cach
 			panic(fmt.Sprintf("explore: event %s not applicable to member of ℰ; model invariant broken", e))
 		}
 		D := model.MustApply(pr, E, e)
-		info := cache.Classify(D)
-		res.DValencies[info.Valency]++
-		if info.Valency == Bivalent && res.Sigma == nil {
+		v := classify(D)
+		res.DValencies[v]++
+		if v == Bivalent && res.Sigma == nil {
 			res.BivalentFound = true
 			res.Sigma = append(path(), e)
 			if stopAtFirst {
@@ -73,4 +77,48 @@ func lemma3(pr model.Protocol, c *model.Config, e model.Event, opt Options, cach
 	})
 	res.Complete = complete
 	return res, nil
+}
+
+// frontierClassifier picks how the members of D = e(ℰ) are classified.
+// Every D lies in reach(C), and the frontier's reachable sets overlap
+// almost completely, so the census case wants one valency atlas over
+// reach(C) answering all of them in O(V+E) rather than one breadth-first
+// search per member:
+//
+//   - a caller-supplied cache is warmed with that atlas (TryWarm is a
+//     no-op when a previous call already covered C, and remembers
+//     over-budget roots so unbounded protocols pay the failed sweep once);
+//   - with no cache, a full census builds the atlas privately;
+//   - the early-exit search (FindBivalentExtension without a cache)
+//     typically inspects a handful of members, so it skips the build and
+//     classifies per configuration — through a cache allocated only when
+//     the first classification actually runs, not one 32-shard table per
+//     call whether used or not;
+//   - when the reachable set exceeds the budget, every path falls back to
+//     budgeted per-configuration classification, which is the pre-atlas
+//     behaviour exactly.
+func frontierClassifier(pr model.Protocol, c *model.Config, opt Options, cache *Cache, stopAtFirst bool) func(*model.Config) Valency {
+	if cache != nil {
+		cache.TryWarm(c)
+		return func(D *model.Config) Valency { return cache.Classify(D).Valency }
+	}
+	if !stopAtFirst {
+		if atlas, ok := BuildAtlas(pr, c, opt); ok {
+			return func(D *model.Config) Valency {
+				if id, ok := atlas.IDOf(D); ok {
+					return atlas.ValencyAt(id)
+				}
+				// Unreachable for a complete atlas (every D is reachable
+				// from C); classify defensively rather than crash.
+				return Classify(pr, D, opt).Valency
+			}
+		}
+	}
+	var lazy *Cache
+	return func(D *model.Config) Valency {
+		if lazy == nil {
+			lazy = NewCache(pr, opt)
+		}
+		return lazy.Classify(D).Valency
+	}
 }

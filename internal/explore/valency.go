@@ -156,7 +156,8 @@ const cacheShardCount = 32
 // results are identical, and the first store wins, so all callers observe
 // one canonical ValencyInfo. A concurrent compute that loses the store
 // race still counts as a miss in Stats — misses count classifications
-// performed, hits count lookups answered from memory.
+// performed, hits count lookups answered from memory, where "memory"
+// includes any valency atlas attached with Warm.
 type Cache struct {
 	pr     model.Protocol
 	opt    Options
@@ -164,6 +165,16 @@ type Cache struct {
 	shards [cacheShardCount]cacheShard
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// atlases holds the valency atlases attached by Warm, consulted on
+	// shard misses before any per-configuration classification runs. The
+	// slice is replaced copy-on-write under warmMu; readers load it
+	// atomically.
+	atlases atomic.Pointer[[]*Atlas]
+	warmMu  sync.Mutex
+	// warmFailed remembers roots whose atlas build exceeded the budget, so
+	// TryWarm does not re-pay the failed sweep on every call.
+	warmFailed map[uint64]bool
 }
 
 type cacheShard struct {
@@ -214,6 +225,11 @@ func (vc *Cache) Classify(c *model.Config) ValencyInfo {
 	}
 	sh.mu.Unlock()
 
+	if info, ok := vc.atlasInfo(c); ok {
+		vc.hits.Add(1)
+		return vc.store(sh, h, key, info)
+	}
+
 	vc.misses.Add(1)
 	var info ValencyInfo
 	if vc.probe != nil {
@@ -222,6 +238,12 @@ func (vc *Cache) Classify(c *model.Config) ValencyInfo {
 		info = Classify(vc.pr, c, vc.opt)
 	}
 
+	return vc.store(sh, h, key, info)
+}
+
+// store memoizes info for (h, key) unless a concurrent call stored first,
+// returning the entry every caller will observe from now on.
+func (vc *Cache) store(sh *cacheShard, h uint64, key string, info ValencyInfo) ValencyInfo {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for _, e := range sh.entries[h] {
@@ -231,6 +253,79 @@ func (vc *Cache) Classify(c *model.Config) ValencyInfo {
 	}
 	sh.entries[h] = append(sh.entries[h], cacheEntry{key: key, info: info})
 	return info
+}
+
+// atlasInfo answers c from an attached atlas, when one covers it.
+func (vc *Cache) atlasInfo(c *model.Config) (ValencyInfo, bool) {
+	atlases := vc.atlases.Load()
+	if atlases == nil {
+		return ValencyInfo{}, false
+	}
+	for _, a := range *atlases {
+		if info, ok := a.Info(c); ok {
+			return info, true
+		}
+	}
+	return ValencyInfo{}, false
+}
+
+// Warm attaches atlas to the cache: every configuration in the atlas's
+// exhausted reachable set is answered from its backward-propagated
+// decision bits — counted as a hit, memoized into the shard table on first
+// query — instead of a per-configuration search. Atlas answers are exact
+// and agree with what Classify under the cache's options would compute
+// (witness schedules may differ; lengths do not, both being shortest), so
+// warming never changes a caller-observable classification, only its cost.
+// Several atlases may be attached; they are consulted in attachment order.
+// Safe for concurrent use.
+func (vc *Cache) Warm(atlas *Atlas) {
+	vc.warmMu.Lock()
+	defer vc.warmMu.Unlock()
+	var next []*Atlas
+	if cur := vc.atlases.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, atlas)
+	vc.atlases.Store(&next)
+}
+
+// Covers reports whether an attached atlas answers c.
+func (vc *Cache) Covers(c *model.Config) bool {
+	_, ok := vc.atlasInfo(c)
+	return ok
+}
+
+// TryWarm ensures the cache is backed by an atlas covering root: an
+// already-covered root returns immediately, otherwise an atlas is built
+// with the cache's own options and attached. A root whose reachable set
+// exceeds the budget is remembered, so repeated calls do not re-pay the
+// failed sweep; the cache then keeps classifying per configuration, which
+// is the correct fallback for unbounded state spaces. It reports whether
+// the cache now covers root. Safe for concurrent use (two concurrent
+// first calls may both build; both atlases are attached, answers agree).
+func (vc *Cache) TryWarm(root *model.Config) bool {
+	if vc.Covers(root) {
+		return true
+	}
+	h := root.Hash()
+	vc.warmMu.Lock()
+	failed := vc.warmFailed[h]
+	vc.warmMu.Unlock()
+	if failed {
+		return false
+	}
+	atlas, ok := BuildAtlas(vc.pr, root, vc.opt)
+	if !ok {
+		vc.warmMu.Lock()
+		if vc.warmFailed == nil {
+			vc.warmFailed = make(map[uint64]bool)
+		}
+		vc.warmFailed[h] = true
+		vc.warmMu.Unlock()
+		return false
+	}
+	vc.Warm(atlas)
+	return true
 }
 
 // Stats returns cache hit/miss counters. Safe for concurrent use.

@@ -35,6 +35,7 @@ type internShard struct {
 type internEntry struct {
 	key string
 	id  uint64
+	tag uint64
 }
 
 // NewInterner returns an empty interner.
@@ -64,6 +65,48 @@ func (it *Interner) Intern(c *Config) (id uint64, fresh bool) {
 	sh.count++
 	sh.buckets[h] = append(sh.buckets[h], internEntry{key: key, id: id})
 	return id, true
+}
+
+// InternTag is Intern with a caller-supplied auxiliary value: when c is
+// fresh, tag is recorded with the entry; either way the call returns the
+// tag recorded by whichever call interned c first. This is the hook the
+// explore package's valency atlas is built on — the tag carries the
+// atlas's dense graph-node id, so successor and predecessor edges to
+// already-visited configurations resolve to node ids with the same single
+// lookup that deduplicates the visited set.
+//
+// Entries interned through plain Intern carry tag 0; keep one interner per
+// tag namespace rather than mixing the two styles.
+func (it *Interner) InternTag(c *Config, tag uint64) (got uint64, fresh bool) {
+	h := c.Hash()
+	sh := &it.shards[h&(internShardCount-1)]
+	key := c.Key()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, e := range sh.buckets[h] {
+		if e.key == key {
+			return e.tag, false
+		}
+	}
+	id := sh.count*internShardCount + h&(internShardCount-1)
+	sh.count++
+	sh.buckets[h] = append(sh.buckets[h], internEntry{key: key, id: id, tag: tag})
+	return tag, true
+}
+
+// Tag returns the auxiliary value recorded for c by InternTag.
+func (it *Interner) Tag(c *Config) (tag uint64, ok bool) {
+	h := c.Hash()
+	sh := &it.shards[h&(internShardCount-1)]
+	key := c.Key()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, e := range sh.buckets[h] {
+		if e.key == key {
+			return e.tag, true
+		}
+	}
+	return 0, false
 }
 
 // Lookup returns the ID of c if it has been interned.

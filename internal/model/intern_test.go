@@ -219,6 +219,40 @@ func TestHashInternAgreementOnReachableSet(t *testing.T) {
 	}
 }
 
+// TestInternTag covers the auxiliary-tag hook the valency atlas is built
+// on: first-interner-wins tag semantics, Tag lookups, and independence from
+// the interner's own IDs.
+func TestInternTag(t *testing.T) {
+	pr := protocols.NewNaiveMajority(3)
+	a := model.MustInitial(pr, model.Inputs{0, 1, 1})
+	b := walkFrom(t, pr, model.Inputs{0, 1, 1}, []byte{0})
+	aDup := model.MustInitial(pr, model.Inputs{0, 1, 1})
+
+	it := model.NewInterner()
+	if got, fresh := it.InternTag(a, 7); !fresh || got != 7 {
+		t.Fatalf("InternTag(a, 7) = (%d, %v), want (7, true)", got, fresh)
+	}
+	if got, fresh := it.InternTag(b, 9); !fresh || got != 9 {
+		t.Fatalf("InternTag(b, 9) = (%d, %v), want (9, true)", got, fresh)
+	}
+	// A duplicate keeps the first tag, whatever the caller proposes.
+	if got, fresh := it.InternTag(aDup, 1234); fresh || got != 7 {
+		t.Fatalf("InternTag(dup, 1234) = (%d, %v), want (7, false)", got, fresh)
+	}
+	if tag, ok := it.Tag(aDup); !ok || tag != 7 {
+		t.Fatalf("Tag(a) = (%d, %v), want (7, true)", tag, ok)
+	}
+	if tag, ok := it.Tag(b); !ok || tag != 9 {
+		t.Fatalf("Tag(b) = (%d, %v), want (9, true)", tag, ok)
+	}
+	if _, ok := it.Tag(walkFrom(t, pr, model.Inputs{0, 1, 1}, []byte{1})); ok {
+		t.Fatal("Tag of a never-interned configuration reported ok")
+	}
+	if it.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", it.Len())
+	}
+}
+
 // TestInternerConcurrent hammers one interner from many goroutines over an
 // overlapping set of configurations: every goroutine must observe the same
 // ID for the same configuration, and the table must end up with exactly
