@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-short test-dist fuzz bench bench-parallel bench-valency vet
+.PHONY: all build test test-race test-short test-dist test-chaos fuzz bench bench-parallel bench-valency vet
 
 all: build test
 
@@ -25,6 +25,13 @@ test-dist:
 	$(GO) test ./internal/distexplore
 	$(GO) run ./cmd/flpcluster selftest -workers 3 -shards 6 -protocol naivemajority
 	$(GO) run ./cmd/flpcluster selftest -workers 3 -shards 6 -protocol 2pc
+
+# Fault injection under the race detector: the scripted kill sweep
+# (every worker × every level), mixed-fault chaos seeds, compression
+# negotiation, and the R=1 abort contract — the failover half of the
+# byte-identical guarantee.
+test-chaos:
+	$(GO) test -race -count=1 -run 'TestFailover|TestReplicasOne|TestChaos|TestCompression|TestInterrupt|TestWorkerDrain|TestWorkerLost|TestRetryAfterConnLoss' ./internal/distexplore
 
 test-short:
 	$(GO) test -short ./...

@@ -35,6 +35,7 @@ func main() {
 		skipAgree  = flag.Bool("skip-agreement", false, "skip the partial-correctness audit")
 		cluster    = flag.String("cluster", "", "also run a distributed reachability census: 'loopback:W' spins up W in-process workers; otherwise comma-separated flpcluster worker addresses")
 		shards     = flag.Int("cluster-shards", 0, "visited-set shards for -cluster (0 = one per worker)")
+		creplicas  = flag.Int("cluster-replicas", 0, "replicas per shard for -cluster (0 = default 2; 1 disables failover)")
 		list       = flag.Bool("list", false, "list available protocols and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -73,7 +74,7 @@ func main() {
 		runAdversary(pr, *stages, *workers, unbounded)
 	}
 	if *cluster != "" {
-		runClusterCensus(pr, *name, *budget, *cluster, *shards, unbounded)
+		runClusterCensus(pr, *name, *budget, *cluster, *shards, *creplicas, unbounded)
 	}
 }
 
@@ -81,7 +82,7 @@ func main() {
 // one: a per-input reachability census over a worker cluster (in-process
 // loopback or live TCP workers started with `flpcluster worker`) must
 // reproduce the local counts exactly.
-func runClusterCensus(pr flp.Protocol, name string, budget int, spec string, shards int, unbounded bool) {
+func runClusterCensus(pr flp.Protocol, name string, budget int, spec string, shards, replicas int, unbounded bool) {
 	fmt.Println("== Distributed reachability census ==")
 	if unbounded {
 		budget = 2000 // unbounded state spaces get the same bounded sweep as the other sections
@@ -96,7 +97,7 @@ func runClusterCensus(pr flp.Protocol, name string, budget int, spec string, sha
 		fatalf("%v", err)
 	}
 	defer cl.Close()
-	fmt.Printf("  cluster: %d workers (%s), shards=%d\n", len(addrs), strings.Join(addrs, ", "), shards)
+	fmt.Printf("  cluster: %d workers (%s), shards=%d, replicas=%d\n", len(addrs), strings.Join(addrs, ", "), shards, replicas)
 	for _, in := range flp.AllInputs(pr.N()) {
 		c, err := flp.Initial(pr, in)
 		if err != nil {
@@ -104,7 +105,7 @@ func runClusterCensus(pr flp.Protocol, name string, budget int, spec string, sha
 		}
 		localCount, localExact := explore.CountReachable(pr, c, explore.Options{MaxConfigs: budget})
 		count, exact, err := cl.CountReachable(distexplore.Task{
-			Protocol: name, N: pr.N(), Inputs: in, Shards: shards,
+			Protocol: name, N: pr.N(), Inputs: in, Shards: shards, Replicas: replicas,
 			Options: explore.Options{MaxConfigs: budget},
 		})
 		if err != nil {

@@ -6,13 +6,16 @@
 // Usage:
 //
 //	flpcluster worker -listen 127.0.0.1:9001
-//	    serve one visited-set partition until killed
+//	    serve one visited-set partition; SIGINT/SIGTERM drains in-flight
+//	    requests and exits 0 with a summary
 //
 //	flpcluster explore -cluster 127.0.0.1:9001,127.0.0.1:9002 \
-//	    -protocol naivemajority -n 3 -inputs 0,1,1 -shards 8
-//	    run a distributed reachability census against live workers
+//	    -protocol naivemajority -n 3 -inputs 0,1,1 -shards 8 -replicas 2
+//	    run a distributed reachability census against live workers;
+//	    -chaos injects a deterministic fault plan, -compress negotiates
+//	    wire-level frame compression
 //
-//	flpcluster selftest -workers 3 -shards 6
+//	flpcluster selftest -workers 3 -shards 6 -replicas 2
 //	    spin up an in-process loopback cluster and verify its results
 //	    against the sequential engine (used by `make test-dist`)
 package main
@@ -21,7 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/flpsim/flp/internal/distexplore"
 	"github.com/flpsim/flp/internal/explore"
@@ -50,8 +57,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: flpcluster <worker|explore|selftest> [flags]")
 	fmt.Fprintln(os.Stderr, "  flpcluster worker   -listen 127.0.0.1:9001")
-	fmt.Fprintln(os.Stderr, "  flpcluster explore  -cluster host:port,host:port -protocol naivemajority -n 3 [-inputs 0,1,1|all] [-shards S]")
-	fmt.Fprintln(os.Stderr, "  flpcluster selftest [-workers 3] [-shards 6] [-protocol naivemajority] [-n 3] [-budget B]")
+	fmt.Fprintln(os.Stderr, "  flpcluster explore  -cluster host:port,host:port -protocol naivemajority -n 3 [-inputs 0,1,1|all] [-shards S] [-replicas R] [-compress] [-chaos spec]")
+	fmt.Fprintln(os.Stderr, "  flpcluster selftest [-workers 3] [-shards 6] [-replicas 2] [-protocol naivemajority] [-n 3] [-budget B]")
+	fmt.Fprintln(os.Stderr, "  chaos spec: comma-separated keys seed=N drop=P delay=P delayfor=DUR trunc=P kill=WORKER@LEVEL")
 	os.Exit(2)
 }
 
@@ -64,32 +72,78 @@ func runWorker(args []string) {
 		fatalf("%v", err)
 	}
 	fmt.Printf("flpcluster worker: serving on %s\n", l.Addr())
-	if err := distexplore.NewWorker(nil).Serve(l); err != nil {
+
+	w := distexplore.NewWorker(nil)
+	// SIGINT/SIGTERM begins a graceful drain: the listener stops accepting,
+	// in-flight requests are answered, and the process exits 0. A
+	// replicated coordinator fails the shards over to their standbys; an
+	// unreplicated one aborts with the lost-worker diagnostic.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Printf("flpcluster worker: %v received, draining\n", s)
+		w.Drain()
+		l.Close()
+	}()
+	start := time.Now()
+	err = w.Serve(l)
+	w.Wait()
+	fmt.Printf("flpcluster worker: drained after %s; %d requests served\n",
+		time.Since(start).Round(time.Millisecond), w.RequestsServed())
+	if err != nil && !isClosedErr(err) {
 		fatalf("%v", err)
 	}
+}
+
+// isClosedErr reports whether err is the listener's routine "closed" error
+// from a drain-triggered shutdown, which is a clean exit, not a failure.
+func isClosedErr(err error) bool {
+	return strings.Contains(err.Error(), "closed")
 }
 
 func runExplore(args []string) {
 	fs := flag.NewFlagSet("explore", flag.ExitOnError)
 	var (
-		cluster = fs.String("cluster", "", "comma-separated worker addresses (required)")
-		name    = fs.String("protocol", "naivemajority", "protocol to explore")
-		n       = fs.Int("n", 3, "number of processes")
-		inputs  = fs.String("inputs", "all", "input vector like 0,1,1 — or 'all' for a census over every vector")
-		shards  = fs.Int("shards", 0, "visited-set shards (0 = one per worker)")
-		budget  = fs.Int("budget", 0, "max configurations per exploration (0 = default)")
-		depth   = fs.Int("depth", 0, "max schedule depth (0 = unlimited)")
+		cluster  = fs.String("cluster", "", "comma-separated worker addresses (required)")
+		name     = fs.String("protocol", "naivemajority", "protocol to explore")
+		n        = fs.Int("n", 3, "number of processes")
+		inputs   = fs.String("inputs", "all", "input vector like 0,1,1 — or 'all' for a census over every vector")
+		shards   = fs.Int("shards", 0, "visited-set shards (0 = one per worker)")
+		replicas = fs.Int("replicas", 0, "replicas per shard (0 = default 2; 1 disables failover)")
+		budget   = fs.Int("budget", 0, "max configurations per exploration (0 = default)")
+		depth    = fs.Int("depth", 0, "max schedule depth (0 = unlimited)")
+		compress = fs.Bool("compress", false, "negotiate wire-level frame compression with workers")
+		chaos    = fs.String("chaos", "", "deterministic fault plan, e.g. seed=1,drop=0.02,kill=1@3")
 	)
 	fs.Parse(args)
 	if *cluster == "" {
 		fatalf("explore: -cluster is required")
 	}
 	addrs := strings.Split(*cluster, ",")
-	cl, err := distexplore.Dial(distexplore.TCP{}, addrs, distexplore.RPCOptions{})
+	var tr distexplore.Transport = distexplore.TCP{}
+	if *chaos != "" {
+		plan, err := parseChaos(*chaos, addrs)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tr = distexplore.NewFaultyTransport(tr, plan)
+	}
+	cl, err := distexplore.Dial(tr, addrs, distexplore.RPCOptions{Compress: *compress})
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer cl.Close()
+
+	// SIGINT/SIGTERM interrupts the census at the next level boundary: the
+	// in-flight level completes, results so far are reported, exit 0.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Printf("flpcluster explore: %v received, stopping at the next level boundary\n", s)
+		cl.Interrupt()
+	}()
 
 	var ins []model.Inputs
 	if *inputs == "all" {
@@ -101,13 +155,19 @@ func runExplore(args []string) {
 		}
 		ins = []model.Inputs{in}
 	}
-	fmt.Printf("distributed reachability census: %s n=%d, %d workers, shards=%d\n",
-		*name, *n, len(addrs), *shards)
+	fmt.Printf("distributed reachability census: %s n=%d, %d workers, shards=%d, replicas=%d\n",
+		*name, *n, len(addrs), *shards, effectiveReplicas(*replicas, len(addrs)))
+	done := 0
 	for _, in := range ins {
 		count, exact, err := cl.CountReachable(distexplore.Task{
-			Protocol: *name, N: *n, Inputs: in, Shards: *shards,
+			Protocol: *name, N: *n, Inputs: in, Shards: *shards, Replicas: *replicas,
 			Options: explore.Options{MaxConfigs: *budget, MaxDepth: *depth},
 		})
+		if err == distexplore.ErrInterrupted {
+			fmt.Printf("interrupted: %d of %d input vectors completed, inputs %s partial (%d configurations seen)\n",
+				done, len(ins), in, count)
+			return
+		}
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -116,7 +176,51 @@ func runExplore(args []string) {
 			suffix = " (budget-limited)"
 		}
 		fmt.Printf("  inputs %s: %d configurations%s\n", in, count, suffix)
+		done++
 	}
+}
+
+// parseChaos parses a -chaos fault-plan spec: comma-separated key=value
+// pairs. kill=W@L names a worker by its index in the -cluster list and the
+// level at which its next frame is discarded.
+func parseChaos(spec string, addrs []string) (distexplore.FaultPlan, error) {
+	var plan distexplore.FaultPlan
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return plan, fmt.Errorf("chaos spec %q: %q is not key=value", spec, kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			plan.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "drop":
+			plan.DropProb, err = strconv.ParseFloat(val, 64)
+		case "delay":
+			plan.DelayProb, err = strconv.ParseFloat(val, 64)
+		case "delayfor":
+			plan.Delay, err = time.ParseDuration(val)
+		case "trunc":
+			plan.TruncateProb, err = strconv.ParseFloat(val, 64)
+		case "kill":
+			widx, lvl, ok := strings.Cut(val, "@")
+			if !ok {
+				return plan, fmt.Errorf("chaos spec: kill wants WORKER@LEVEL, got %q", val)
+			}
+			w, werr := strconv.Atoi(widx)
+			if werr != nil || w < 0 || w >= len(addrs) {
+				return plan, fmt.Errorf("chaos spec: kill worker index %q out of range [0, %d)", widx, len(addrs))
+			}
+			plan.KillAddr = addrs[w]
+			plan.KillLevel, err = strconv.Atoi(lvl)
+		default:
+			return plan, fmt.Errorf("chaos spec: unknown key %q", key)
+		}
+		if err != nil {
+			return plan, fmt.Errorf("chaos spec: bad value for %s: %v", key, err)
+		}
+	}
+	return plan, nil
 }
 
 // runSelftest boots a full cluster over the loopback transport inside this
@@ -126,11 +230,12 @@ func runExplore(args []string) {
 func runSelftest(args []string) {
 	fs := flag.NewFlagSet("selftest", flag.ExitOnError)
 	var (
-		workers = fs.Int("workers", 3, "worker count")
-		shards  = fs.Int("shards", 6, "visited-set shards")
-		name    = fs.String("protocol", "naivemajority", "protocol to explore")
-		n       = fs.Int("n", 3, "number of processes")
-		budget  = fs.Int("budget", 0, "max configurations (0 = default)")
+		workers  = fs.Int("workers", 3, "worker count")
+		shards   = fs.Int("shards", 6, "visited-set shards")
+		replicas = fs.Int("replicas", 0, "replicas per shard (0 = default 2)")
+		name     = fs.String("protocol", "naivemajority", "protocol to explore")
+		n        = fs.Int("n", 3, "number of processes")
+		budget   = fs.Int("budget", 0, "max configurations (0 = default)")
 	)
 	fs.Parse(args)
 
@@ -160,14 +265,14 @@ func runSelftest(args []string) {
 	}
 	defer cl.Close()
 
-	fmt.Printf("selftest: %s n=%d over loopback cluster (%d workers × %d shards) vs sequential\n",
-		*name, *n, *workers, *shards)
+	fmt.Printf("selftest: %s n=%d over loopback cluster (%d workers × %d shards, %d replicas) vs sequential\n",
+		*name, *n, *workers, *shards, effectiveReplicas(*replicas, *workers))
 	failures := 0
 	for _, in := range model.AllInputs(*n) {
 		opt := explore.Options{MaxConfigs: *budget, Workers: 1}
 		seqCount, seqExact := explore.CountReachable(pr, model.MustInitial(pr, in), opt)
 		count, exact, err := cl.CountReachable(distexplore.Task{
-			Protocol: *name, N: *n, Inputs: in, Shards: *shards,
+			Protocol: *name, N: *n, Inputs: in, Shards: *shards, Replicas: *replicas,
 			Options: explore.Options{MaxConfigs: *budget},
 		})
 		if err != nil {
@@ -184,6 +289,18 @@ func runSelftest(args []string) {
 		fatalf("selftest failed: %d input vectors diverged", failures)
 	}
 	fmt.Println("selftest passed: distributed census identical to the sequential engine")
+}
+
+// effectiveReplicas mirrors the engine's Task.Replicas resolution, for
+// banner output only.
+func effectiveReplicas(replicas, workers int) int {
+	if replicas <= 0 {
+		replicas = distexplore.DefaultReplicas
+	}
+	if replicas > workers {
+		replicas = workers
+	}
+	return replicas
 }
 
 func parseInputs(s string, n int) (model.Inputs, error) {

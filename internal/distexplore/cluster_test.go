@@ -1,6 +1,7 @@
 package distexplore
 
 import (
+	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -158,8 +159,9 @@ func differentialTasks() []struct {
 }
 
 // TestLoopbackDifferentialDeterminism is the core acceptance test: shards
-// ∈ {1, 2, 4} × worker processes ∈ {1, 4}, every combination compared
-// byte-for-byte against the sequential engine over the loopback transport.
+// ∈ {1, 2, 4} × worker processes ∈ {1, 4} × replicas ∈ {1, 2}, every
+// combination compared byte-for-byte against the sequential engine over
+// the loopback transport.
 func TestLoopbackDifferentialDeterminism(t *testing.T) {
 	lb := NewLoopback()
 	addrs, _ := startWorkers(t, lb, []string{"w0", "w1", "w2", "w3"})
@@ -169,11 +171,14 @@ func TestLoopbackDifferentialDeterminism(t *testing.T) {
 			for _, workers := range []int{1, 4} {
 				cl := dialCluster(t, lb, addrs[:workers], RPCOptions{})
 				for _, shards := range []int{1, 2, 4} {
-					tk := tc.task
-					tk.Shards = shards
-					distC, distV, dist := distStream(t, cl, tk)
-					label := tc.name + "/w" + string(rune('0'+workers)) + "s" + string(rune('0'+shards))
-					compareStreams(t, label, seqC, seqV, seq, distC, distV, dist)
+					for _, replicas := range []int{1, 2} {
+						tk := tc.task
+						tk.Shards = shards
+						tk.Replicas = replicas
+						distC, distV, dist := distStream(t, cl, tk)
+						label := fmt.Sprintf("%s/w%ds%dr%d", tc.name, workers, shards, replicas)
+						compareStreams(t, label, seqC, seqV, seq, distC, distV, dist)
+					}
 				}
 			}
 		})
@@ -292,10 +297,11 @@ func TestDistributedEarlyStop(t *testing.T) {
 	compareStreams(t, "early-stop", seqC, seqV, seqSteps, distC, distV, distSteps)
 }
 
-// TestWorkerLostAborts severs one worker permanently mid-run: the
-// exploration must abort promptly with a diagnostic error naming the lost
-// worker — a lost shard is unrecoverable state, and hanging or silently
-// continuing would be worse than failing.
+// TestWorkerLostAborts severs one worker permanently mid-run with
+// replication off: the exploration must abort promptly with a diagnostic
+// error naming the lost worker — at R=1 a lost shard is unrecoverable
+// state, and hanging or silently continuing would be worse than failing.
+// (With the default R=2 the same loss fails over; see failover_test.go.)
 func TestWorkerLostAborts(t *testing.T) {
 	lb := NewLoopback()
 	addrs, ls := startWorkers(t, lb, []string{"l0", "l1"})
@@ -303,7 +309,7 @@ func TestWorkerLostAborts(t *testing.T) {
 		RPCTimeout: 500 * time.Millisecond, DialTimeout: 100 * time.Millisecond,
 		Retries: 1, RetryBackoff: 5 * time.Millisecond,
 	})
-	task := Task{Protocol: "naivemajority", N: 3, Inputs: model.Inputs{0, 1, 1}}
+	task := Task{Protocol: "naivemajority", N: 3, Inputs: model.Inputs{0, 1, 1}, Replicas: 1}
 	visits := 0
 	done := make(chan error, 1)
 	go func() {

@@ -1,9 +1,13 @@
 package distexplore
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/flpsim/flp/internal/explore"
@@ -22,9 +26,23 @@ type RPCOptions struct {
 	// a fresh connection) before the worker is declared lost. Worker-
 	// reported errors are permanent and never retried. Default 2.
 	Retries int
-	// RetryBackoff is slept before the first retry and doubles on each
-	// subsequent one. Default 50ms.
+	// RetryBackoff is the base of the retry backoff: the backoff ceiling
+	// doubles from it on each attempt. Default 50ms.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the backoff ceiling so repeated retries never
+	// sleep unboundedly long. Default 2s.
+	RetryBackoffMax time.Duration
+	// Seed seeds the per-worker PRNGs behind retry jitter (full jitter:
+	// each retry sleeps uniform in [0, ceiling)). A fixed seed keeps
+	// retry schedules reproducible in tests; distinct coordinator seeds
+	// keep real clusters from synchronizing their retries. 0 means seed 1.
+	Seed int64
+	// Compress offers wire-level frame compression in the per-connection
+	// hello exchange. Workers that accept it receive and send large frames
+	// deflated; peers that predate the hello frame answer it with an
+	// error, which the coordinator treats as "plain frames only" — old and
+	// new cluster members interoperate unchanged.
+	Compress bool
 	// Provider resolves protocol names at the coordinator; it must agree
 	// with the workers' provider. Default: the built-in registry.
 	Provider ProtocolProvider
@@ -45,10 +63,38 @@ func (o RPCOptions) withDefaults() RPCOptions {
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 50 * time.Millisecond
 	}
+	if o.RetryBackoffMax <= 0 {
+		o.RetryBackoffMax = 2 * time.Second
+	}
+	if o.RetryBackoffMax < o.RetryBackoff {
+		o.RetryBackoffMax = o.RetryBackoff
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
 	if o.Provider == nil {
 		o.Provider = RegistryProvider
 	}
 	return o
+}
+
+// backoffDelay computes the sleep before retry attempt (1-based): full
+// jitter over an exponentially growing, capped ceiling — uniform in
+// [0, min(max, base·2^(attempt-1))]. Jitter comes from the caller's seeded
+// PRNG, never the global math/rand source, so tests get reproducible retry
+// schedules.
+func backoffDelay(base, max time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	ceiling := base
+	for i := 1; i < attempt && ceiling < max; i++ {
+		ceiling *= 2
+	}
+	if ceiling > max {
+		ceiling = max
+	}
+	if ceiling <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Int63n(int64(ceiling) + 1))
 }
 
 // Task describes one distributed exploration: everything a worker needs to
@@ -69,6 +115,14 @@ type Task struct {
 	// 0 means one per worker. More shards than workers is valid (shards
 	// are dealt round-robin) and produces identical results.
 	Shards int
+	// Replicas is the shard replication factor R: shard s lives on workers
+	// (s+r) mod W for r < R, so any R-1 worker losses leave a live copy of
+	// every shard and the run fails over instead of aborting. 0 means
+	// DefaultReplicas (2), capped at the worker count; 1 disables
+	// replication — a lost worker then aborts with a diagnostic, exactly
+	// the pre-replication behaviour. Results are byte-identical at every
+	// R, with or without failures.
+	Replicas int
 	// Options carries the exploration bounds (MaxConfigs, MaxDepth).
 	// Workers is ignored: in the distributed engine parallelism comes from
 	// worker processes (see explore.Options.Workers for the full
@@ -78,7 +132,9 @@ type Task struct {
 
 // WorkerError is a failure reported by a worker itself (as opposed to a
 // transport failure): the job is in a broken state and the exploration
-// aborts without retrying.
+// aborts without retrying or failing over — a worker that *answers* with
+// an error is not crashed, and promoting its standby would mask a real
+// divergence.
 type WorkerError struct {
 	Worker int
 	Addr   string
@@ -89,23 +145,35 @@ func (e *WorkerError) Error() string {
 	return fmt.Sprintf("distexplore: worker %d (%s): %s", e.Worker, e.Addr, e.Msg)
 }
 
-// workerConn is the coordinator's view of one worker: its address and the
-// current connection, re-dialed on demand after failures.
+// ErrInterrupted is returned by Explore when Interrupt was called: the
+// run stopped cleanly at a level boundary, with the visited count
+// reporting how many configurations were visited before the stop.
+var ErrInterrupted = errors.New("distexplore: exploration interrupted at a level boundary")
+
+// workerConn is the coordinator's view of one worker: its address, the
+// current connection (re-dialed on demand after failures), the
+// compression agreement negotiated on that connection, and the worker's
+// private jitter PRNG (calls to one worker are serialized, so no lock).
 type workerConn struct {
-	addr string
-	conn net.Conn
+	addr     string
+	conn     net.Conn
+	compress bool
+	rng      *rand.Rand
 }
 
 // Cluster is a coordinator's handle on a set of workers. It drives the
-// level-synchronous exploration loop: workers expand their owned frontier
-// and answer dedup queries; the cluster merges every level's candidates in
-// canonical order, so results are byte-identical to the in-process engines
-// at any worker and shard count. A Cluster is not safe for concurrent use;
-// run one exploration at a time.
+// level-synchronous exploration loop: workers expand the frontier shards
+// they lead and answer dedup queries; the cluster merges every level's
+// candidates in canonical order, so results are byte-identical to the
+// in-process engines at any worker, shard, and replica count — including
+// across single-worker failures when replication is on. A Cluster is not
+// safe for concurrent use; run one exploration at a time (Interrupt may be
+// called from any goroutine).
 type Cluster struct {
-	tr      Transport
-	opt     RPCOptions
-	workers []*workerConn
+	tr          Transport
+	opt         RPCOptions
+	workers     []*workerConn
+	interrupted atomic.Bool
 }
 
 // Dial connects to every worker address eagerly, so a dead cluster member
@@ -115,8 +183,11 @@ func Dial(tr Transport, addrs []string, opt RPCOptions) (*Cluster, error) {
 		return nil, fmt.Errorf("distexplore: no worker addresses")
 	}
 	cl := &Cluster{tr: tr, opt: opt.withDefaults()}
-	for _, a := range addrs {
-		cl.workers = append(cl.workers, &workerConn{addr: a})
+	for i, a := range addrs {
+		cl.workers = append(cl.workers, &workerConn{
+			addr: a,
+			rng:  rand.New(rand.NewSource(cl.opt.Seed + int64(i))),
+		})
 	}
 	for i := range cl.workers {
 		if err := cl.redial(i); err != nil {
@@ -139,6 +210,11 @@ func (cl *Cluster) Close() error {
 	return nil
 }
 
+// Interrupt requests a graceful stop: the running Explore finishes the
+// level it is on, then returns ErrInterrupted with the visit count so far.
+// Safe to call from any goroutine (signal handlers, typically).
+func (cl *Cluster) Interrupt() { cl.interrupted.Store(true) }
+
 func (cl *Cluster) redial(w int) error {
 	wc := cl.workers[w]
 	if wc.conn != nil {
@@ -150,24 +226,60 @@ func (cl *Cluster) redial(w int) error {
 		return fmt.Errorf("distexplore: dialing worker %d (%s): %w", w, wc.addr, err)
 	}
 	wc.conn = c
+	wc.compress = false
+	if cl.opt.Compress {
+		ok, err := negotiateCompression(c, cl.opt.RPCTimeout)
+		if err != nil {
+			c.Close()
+			wc.conn = nil
+			return fmt.Errorf("distexplore: hello exchange with worker %d (%s): %w", w, wc.addr, err)
+		}
+		wc.compress = ok
+	}
 	return nil
 }
 
-// call performs one RPC against worker w: bounded retries with exponential
-// backoff and a fresh connection per attempt cover transient transport
-// failures; worker job state plus per-level response caches make the
-// retried request idempotent. A frameErr response is a worker-reported
-// permanent failure. When every attempt fails the worker — and with it an
-// irreplaceable slice of the visited set — is declared lost, and the
-// exploration must abort: that is the diagnostic error returned here.
+// negotiateCompression runs the hello exchange on a fresh connection and
+// reports whether the peer accepted the flate codec. A frameErr answer
+// means the peer predates the hello frame; that is not an error — the
+// connection continues with plain frames.
+func negotiateCompression(c net.Conn, timeout time.Duration) (bool, error) {
+	deadline := time.Now().Add(timeout)
+	if err := writeFrame(c, deadline, frameHello, encodeHello([]string{codecFlate}), false); err != nil {
+		return false, err
+	}
+	rtyp, rpayload, err := readFrame(c, deadline)
+	if err != nil {
+		return false, err
+	}
+	switch rtyp {
+	case frameHelloResp:
+		codec, _, err := model.ConsumeString(rpayload)
+		if err != nil {
+			return false, fmt.Errorf("bad hello response: %w", err)
+		}
+		return codec == codecFlate, nil
+	case frameErr:
+		return false, nil // old peer: no hello frame, no compression
+	default:
+		return false, fmt.Errorf("unexpected hello response frame 0x%02x", rtyp)
+	}
+}
+
+// call performs one RPC against worker w: bounded retries with capped,
+// fully-jittered exponential backoff and a fresh connection per attempt
+// cover transient transport failures; worker job state plus idempotent
+// per-level request handling make the retried request safe. A frameErr
+// response is a worker-reported permanent failure. When every attempt
+// fails the worker is declared lost — with replication the caller fails
+// over to a standby; without a surviving replica the exploration aborts
+// with the diagnostic error built here.
 func (cl *Cluster) call(w int, typ byte, payload []byte) (byte, []byte, error) {
 	wc := cl.workers[w]
 	var lastErr error
-	backoff := cl.opt.RetryBackoff
 	for attempt := 0; attempt <= cl.opt.Retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+			time.Sleep(backoffDelay(cl.opt.RetryBackoff, cl.opt.RetryBackoffMax, attempt, wc.rng))
 		}
 		if wc.conn == nil {
 			if lastErr = cl.redial(w); lastErr != nil {
@@ -175,7 +287,7 @@ func (cl *Cluster) call(w int, typ byte, payload []byte) (byte, []byte, error) {
 			}
 		}
 		deadline := time.Now().Add(cl.opt.RPCTimeout)
-		if err := writeFrame(wc.conn, deadline, typ, payload); err != nil {
+		if err := writeFrame(wc.conn, deadline, typ, payload, wc.compress); err != nil {
 			lastErr = err
 			wc.conn.Close()
 			wc.conn = nil
@@ -194,7 +306,7 @@ func (cl *Cluster) call(w int, typ byte, payload []byte) (byte, []byte, error) {
 		return rtyp, rpayload, nil
 	}
 	return 0, nil, fmt.Errorf(
-		"distexplore: worker %d (%s) lost after %d attempts (%w); its visited-set shards are unrecoverable, aborting exploration",
+		"distexplore: worker %d (%s) lost after %d attempts (%w); its visited-set shards are unrecoverable without a replica, aborting unless one survives",
 		w, wc.addr, cl.opt.Retries+1, lastErr)
 }
 
@@ -233,6 +345,54 @@ func (cl *Cluster) expectOK(w int, typ byte, payload []byte) error {
 	return nil
 }
 
+// replicatedFanout sends each listed worker its payload concurrently and
+// sorts the outcomes by failure mode: transport losses mark the worker
+// dead in rs (the caller fails over or aborts on coverage), while
+// worker-reported errors and malformed responses abort immediately —
+// lowest worker index wins for determinism. Responses of the surviving
+// workers are returned by index.
+func (cl *Cluster) replicatedFanout(rs *replicaSet, typ byte, wantResp byte, payloads map[int][]byte) (map[int][]byte, error) {
+	resps := make([][]byte, len(cl.workers))
+	errs := make([]error, len(cl.workers))
+	var wg sync.WaitGroup
+	for w, p := range payloads {
+		if p == nil || !rs.live(w) {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, p []byte) {
+			defer wg.Done()
+			rtyp, resp, err := cl.call(w, typ, p)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			if rtyp != wantResp {
+				errs[w] = &WorkerError{Worker: w, Addr: cl.workers[w].addr,
+					Msg: fmt.Sprintf("unexpected response frame 0x%02x", rtyp)}
+				return
+			}
+			resps[w] = resp
+		}(w, p)
+	}
+	wg.Wait()
+	out := make(map[int][]byte)
+	for w := range cl.workers {
+		if errs[w] != nil {
+			var we *WorkerError
+			if errors.As(errs[w], &we) {
+				return nil, errs[w] // permanent: state is broken, not lost
+			}
+			rs.markLost(w, errs[w])
+			continue
+		}
+		if resps[w] != nil {
+			out[w] = resps[w]
+		}
+	}
+	return out, nil
+}
+
 // nodeRec is the coordinator's record of one admitted configuration:
 // enough to reconstruct schedules (parent links) and drive the level loop,
 // without holding the configuration itself — configurations live on the
@@ -244,13 +404,211 @@ type nodeRec struct {
 	via    model.Event
 }
 
+// expandPhase collects one level's candidates: every shard is expanded by
+// its current primary, and when a primary is lost mid-phase its pending
+// shards are re-issued to the next live replica — expansion is pure on the
+// workers, so the promoted standby recomputes the identical candidate set
+// from its replicated frontier. The loop ends when every shard has
+// answered, or a shard runs out of live replicas.
+func (cl *Cluster) expandPhase(rs *replicaSet, level int) ([]candidate, error) {
+	done := make([]bool, rs.shards)
+	var all []candidate
+	for {
+		assign := make(map[int][]uint64)
+		pending := 0
+		for s := 0; s < rs.shards; s++ {
+			if done[s] {
+				continue
+			}
+			pending++
+			w, ok := rs.primary(s)
+			if !ok {
+				return nil, rs.lostShard(s)
+			}
+			assign[w] = append(assign[w], uint64(s))
+		}
+		if pending == 0 {
+			return all, nil
+		}
+		payloads := make(map[int][]byte, len(assign))
+		for w, ss := range assign {
+			payloads[w] = encodeLevelIndices(level, ss)
+		}
+		resps, err := cl.replicatedFanout(rs, frameExpand, frameExpandResp, payloads)
+		if err != nil {
+			return nil, err
+		}
+		for w, resp := range resps {
+			lv, cands, err := decodeLevelCandidates(resp)
+			if err != nil {
+				return nil, fmt.Errorf("distexplore: worker %d expand response: %w", w, err)
+			}
+			if lv != level {
+				return nil, fmt.Errorf("distexplore: worker %d answered expand for level %d, want %d", w, lv, level)
+			}
+			all = append(all, cands...)
+			for _, s := range assign[w] {
+				done[s] = true
+			}
+		}
+		// Workers that failed were marked lost; their shards are still
+		// pending and the next iteration re-assigns them to standbys.
+	}
+}
+
+// dedupPhase routes one level's candidates (already in global merge order)
+// to their shards, sends each shard's batch to every live replica, and
+// settles freshness from the primary's answer. Replicas apply identical
+// batches in identical order, so their answers must agree — a divergence
+// is reported as corruption, not silently resolved. Lost workers are
+// tolerated as long as each candidate-bearing shard keeps one live
+// replica whose answer arrived.
+func (cl *Cluster) dedupPhase(rs *replicaSet, level int, all []candidate) ([]candidate, error) {
+	byShard := make([][]candidate, rs.shards)
+	for _, c := range all {
+		s := ownerShard(c.Hash, rs.shards)
+		byShard[s] = append(byShard[s], c)
+	}
+	payloads := make(map[int][]byte)
+	for w := 0; w < rs.workers; w++ {
+		if !rs.live(w) {
+			continue
+		}
+		var groups []shardGroup
+		for s := 0; s < rs.shards; s++ {
+			if len(byShard[s]) == 0 || !rs.replicates(w, s) {
+				continue
+			}
+			groups = append(groups, shardGroup{Shard: s, Cands: byShard[s]})
+		}
+		if len(groups) > 0 {
+			payloads[w] = encodeShardGroups(level, groups)
+		}
+	}
+	resps, err := cl.replicatedFanout(rs, frameDedup, frameDedupResp, payloads)
+	if err != nil {
+		return nil, err
+	}
+	freshBy := make(map[int]map[int][]uint64, len(resps))
+	for w, resp := range resps {
+		lv, groups, err := decodeShardIndices(resp)
+		if err != nil {
+			return nil, fmt.Errorf("distexplore: worker %d dedup response: %w", w, err)
+		}
+		if lv != level {
+			return nil, fmt.Errorf("distexplore: worker %d answered dedup for level %d, want %d", w, lv, level)
+		}
+		m := make(map[int][]uint64, len(groups))
+		for _, g := range groups {
+			m[g.Shard] = g.Fresh
+		}
+		freshBy[w] = m
+	}
+
+	var fresh []candidate
+	for s := 0; s < rs.shards; s++ {
+		if len(byShard[s]) == 0 {
+			continue
+		}
+		chosen := []uint64(nil)
+		chosenW := -1
+		for _, w := range rs.replicasOf(s) {
+			if !rs.live(w) {
+				continue
+			}
+			f, ok := freshBy[w][s]
+			if !ok {
+				return nil, fmt.Errorf("distexplore: worker %d omitted shard %d from its dedup answer", w, s)
+			}
+			if chosenW < 0 {
+				chosen, chosenW = f, w
+				continue
+			}
+			if !equalUint64s(chosen, f) {
+				return nil, fmt.Errorf(
+					"distexplore: replica divergence on shard %d: workers %d and %d disagree on freshness (corrupted replica state)",
+					s, chosenW, w)
+			}
+		}
+		if chosenW < 0 {
+			return nil, rs.lostShard(s)
+		}
+		for _, i := range chosen {
+			if i >= uint64(len(byShard[s])) {
+				return nil, fmt.Errorf("distexplore: worker %d dedup index %d out of range for shard %d", chosenW, i, s)
+			}
+			fresh = append(fresh, byShard[s][i])
+		}
+	}
+	sort.Slice(fresh, func(i, j int) bool {
+		if fresh[i].Parent != fresh[j].Parent {
+			return fresh[i].Parent < fresh[j].Parent
+		}
+		return fresh[i].SuccIdx < fresh[j].SuccIdx
+	})
+	return fresh, nil
+}
+
+func equalUint64s(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// adoptPhase hands one level's admitted nodes to every live replica of
+// their shards. A worker lost during adoption is tolerated as long as each
+// adopted shard keeps a live replica (which, having stayed live, has
+// acknowledged its batch).
+func (cl *Cluster) adoptPhase(rs *replicaSet, level int, adopts []adoptNode) error {
+	if len(adopts) == 0 {
+		return nil
+	}
+	shardOf := make([]int, len(adopts))
+	touched := make(map[int]bool)
+	for i, nd := range adopts {
+		shardOf[i] = ownerShard(model.HashKey(nd.Key), rs.shards)
+		touched[shardOf[i]] = true
+	}
+	payloads := make(map[int][]byte)
+	for w := 0; w < rs.workers; w++ {
+		if !rs.live(w) {
+			continue
+		}
+		var mine []adoptNode
+		for i, nd := range adopts {
+			if rs.replicates(w, shardOf[i]) {
+				mine = append(mine, nd)
+			}
+		}
+		if len(mine) > 0 {
+			payloads[w] = encodeAdoptReq(level, mine)
+		}
+	}
+	if _, err := cl.replicatedFanout(rs, frameAdopt, frameOK, payloads); err != nil {
+		return err
+	}
+	for s := range touched {
+		if _, ok := rs.primary(s); !ok {
+			return rs.lostShard(s)
+		}
+	}
+	return nil
+}
+
 // Explore runs the distributed breadth-first exploration described by t
 // and reports exactly what explore.ExploreFiltered would: whether the
 // reachable set was exhausted and how many distinct configurations were
 // visited, with visit called in the identical deterministic order. The
-// error return is the one addition — transport loss or worker failure
-// aborts the run (the visited set cannot be reconstructed from a surviving
-// subset of shards).
+// error return is the one addition — with replication (Replicas ≥ 2) the
+// run survives the loss of any worker per shard chain with byte-identical
+// results, and aborts with a diagnostic only when a shard's entire replica
+// chain is gone (with Replicas = 1, on any loss, as before).
 func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited int, err error) {
 	eopt := t.Options.Normalized()
 	W := len(cl.workers)
@@ -258,6 +616,18 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 	if shards <= 0 {
 		shards = W
 	}
+	replicas := t.Replicas
+	if replicas == 0 {
+		replicas = DefaultReplicas
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > W {
+		replicas = W
+	}
+	rs := newReplicaSet(shards, W, replicas)
+	cl.interrupted.Store(false)
 
 	pr, err := cl.opt.Provider(t.Protocol, t.N)
 	if err != nil {
@@ -273,11 +643,15 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 		}
 	}
 
-	// Phase 0: install the job on every worker.
+	// Phase 0: install the job on every worker. Init failures are fatal
+	// even with replication — a worker that never received the job holds
+	// no state to fail over from, and starting a run against a cluster
+	// that is already degraded would hide real deployment problems.
 	err = cl.fanout(func(w int) error {
 		req := initReq{
 			Protocol: t.Protocol, N: t.N, Inputs: t.Inputs, Prefix: t.Prefix,
 			Avoid: t.Avoid, Shards: shards, WorkerCount: W, WorkerIndex: w,
+			Replicas: replicas,
 		}
 		return cl.expectOK(w, frameInit, req.encode())
 	})
@@ -285,7 +659,7 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 		return false, 0, err
 	}
 	// Workers now hold state; tear it down on every exit path.
-	defer cl.shutdown()
+	defer cl.shutdown(rs)
 
 	led := explore.NewLedger(eopt)
 	nodes := []nodeRec{{parent: -1, depth: 0}}
@@ -309,10 +683,9 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 		return func() model.Schedule { return scheduleOf(i) }
 	}
 
-	// Adopt the root into its owning shard so level 0 has a frontier.
-	rootOwner := ownerWorker(ownerShard(root.Hash(), shards), W)
-	err = cl.expectOK(rootOwner, frameAdopt,
-		encodeAdoptReq(0, []adoptNode{{Index: 0, Depth: 0, Key: root.Key()}}))
+	// Adopt the root into every replica of its owning shard so level 0 has
+	// a frontier wherever it may be needed.
+	err = cl.adoptPhase(rs, 0, []adoptNode{{Index: 0, Depth: 0, Key: root.Key()}})
 	if err != nil {
 		return false, 0, err
 	}
@@ -322,6 +695,9 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 	// phases (expand, dedup, adopt) and merges between them in canonical
 	// (parent index, successor index) order.
 	for start, end := 0, 1; start < end; start, end = end, len(nodes) {
+		if cl.interrupted.Load() {
+			return false, start, ErrInterrupted
+		}
 		level := nodes[start].depth
 
 		// Phase 1+2: expand the level and dedup its candidates, skipped
@@ -330,25 +706,7 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 		// breadth-first order, so the cap is uniform across the level).
 		var fresh []candidate
 		if !led.Sealed() && !eopt.DepthCapped(level) {
-			perWorker := make([][]candidate, W)
-			err = cl.fanout(func(w int) error {
-				rtyp, resp, err := cl.call(w, frameExpand, encodeLevelIndices(level, nil))
-				if err != nil {
-					return err
-				}
-				if rtyp != frameExpandResp {
-					return fmt.Errorf("distexplore: worker %d: unexpected response frame 0x%02x", w, rtyp)
-				}
-				lv, cands, err := decodeLevelCandidates(resp)
-				if err != nil {
-					return fmt.Errorf("distexplore: worker %d expand response: %w", w, err)
-				}
-				if lv != level {
-					return fmt.Errorf("distexplore: worker %d answered expand for level %d, want %d", w, lv, level)
-				}
-				perWorker[w] = cands
-				return nil
-			})
+			all, err := cl.expandPhase(rs, level)
 			if err != nil {
 				return false, 0, err
 			}
@@ -356,11 +714,9 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 			// Global merge order: candidates sorted by (parent node index,
 			// successor index within the parent's canonical expansion) is
 			// precisely the order in which the sequential engine would
-			// consider them.
-			var all []candidate
-			for _, cs := range perWorker {
-				all = append(all, cs...)
-			}
+			// consider them. Per-shard groups preserve this order, so
+			// "first fresh in the group" equals "first fresh globally" per
+			// configuration (a key's candidates all land in one shard).
 			sort.Slice(all, func(i, j int) bool {
 				if all[i].Parent != all[j].Parent {
 					return all[i].Parent < all[j].Parent
@@ -368,55 +724,10 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 				return all[i].SuccIdx < all[j].SuccIdx
 			})
 
-			// Route each candidate to its owning shard, preserving global
-			// order within each group, and dedup remotely. "First fresh in
-			// the group" then equals "first fresh globally" per
-			// configuration, because a key's candidates all land in one
-			// group.
-			groups := make([][]candidate, W)
-			for _, c := range all {
-				w := ownerWorker(ownerShard(c.Hash, shards), W)
-				groups[w] = append(groups[w], c)
-			}
-			freshPer := make([][]candidate, W)
-			err = cl.fanout(func(w int) error {
-				if len(groups[w]) == 0 {
-					return nil
-				}
-				rtyp, resp, err := cl.call(w, frameDedup, encodeLevelCandidates(level, groups[w]))
-				if err != nil {
-					return err
-				}
-				if rtyp != frameDedupResp {
-					return fmt.Errorf("distexplore: worker %d: unexpected response frame 0x%02x", w, rtyp)
-				}
-				lv, idx, err := decodeLevelIndices(resp)
-				if err != nil {
-					return fmt.Errorf("distexplore: worker %d dedup response: %w", w, err)
-				}
-				if lv != level {
-					return fmt.Errorf("distexplore: worker %d answered dedup for level %d, want %d", w, lv, level)
-				}
-				for _, i := range idx {
-					if i >= uint64(len(groups[w])) {
-						return fmt.Errorf("distexplore: worker %d dedup index %d out of range", w, i)
-					}
-					freshPer[w] = append(freshPer[w], groups[w][i])
-				}
-				return nil
-			})
+			fresh, err = cl.dedupPhase(rs, level, all)
 			if err != nil {
 				return false, 0, err
 			}
-			for _, g := range freshPer {
-				fresh = append(fresh, g...)
-			}
-			sort.Slice(fresh, func(i, j int) bool {
-				if fresh[i].Parent != fresh[j].Parent {
-					return fresh[i].Parent < fresh[j].Parent
-				}
-				return fresh[i].SuccIdx < fresh[j].SuccIdx
-			})
 		}
 
 		// Visit and admit, interleaved per node exactly like the in-process
@@ -456,18 +767,7 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 		// they can never be expanded (sealed budget, or the next level sits
 		// at the depth cap), in which case no worker needs them.
 		if len(adopts) > 0 && !led.Sealed() && !eopt.DepthCapped(level+1) {
-			groups := make(map[int][]adoptNode)
-			for _, nd := range adopts {
-				w := ownerWorker(ownerShard(model.HashKey(nd.Key), shards), W)
-				groups[w] = append(groups[w], nd)
-			}
-			err = cl.fanout(func(w int) error {
-				if len(groups[w]) == 0 {
-					return nil
-				}
-				return cl.expectOK(w, frameAdopt, encodeAdoptReq(level+1, groups[w]))
-			})
-			if err != nil {
+			if err := cl.adoptPhase(rs, level+1, adopts); err != nil {
 				return false, 0, err
 			}
 		}
@@ -483,10 +783,13 @@ func (cl *Cluster) CountReachable(t Task) (count int, exact bool, err error) {
 }
 
 // shutdown releases worker job state at the end of an exploration,
-// best-effort: a worker that cannot be reached simply keeps its state
-// until the next Init replaces it.
-func (cl *Cluster) shutdown() {
+// best-effort on the workers still live: a worker that cannot be reached
+// simply keeps its state until the next Init replaces it.
+func (cl *Cluster) shutdown(rs *replicaSet) {
 	cl.fanout(func(w int) error {
+		if rs != nil && !rs.live(w) {
+			return nil
+		}
 		cl.expectOK(w, frameShutdown, nil)
 		return nil
 	})

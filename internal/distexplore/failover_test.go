@@ -1,0 +1,352 @@
+package distexplore
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+)
+
+// The failover suite pins the tentpole contract: killing any single worker
+// at any level of a replicated (R >= 2) run changes nothing observable —
+// counts, visit order, and witness schedules stay byte-identical to both
+// the fault-free distributed run and the sequential engine. FaultyTransport
+// makes each kill a scripted, replayable event rather than a race, so the
+// sweep below is exhaustive over (victim x level), not probabilistic.
+
+// failoverOptions keeps retry latency low so a killed worker is declared
+// lost in milliseconds, not the production default seconds.
+func failoverOptions() RPCOptions {
+	return RPCOptions{
+		RPCTimeout:   5 * time.Second,
+		DialTimeout:  250 * time.Millisecond,
+		Retries:      2,
+		RetryBackoff: 2 * time.Millisecond,
+	}
+}
+
+// killRun runs the task over a FaultyTransport scripted to kill one worker
+// at one level, with fresh workers per run (a killed worker's state is
+// unusable for the next scenario).
+func killRun(t *testing.T, task Task, workers []string, victim, level int, opt RPCOptions) (bool, int, []step) {
+	t.Helper()
+	ft := NewFaultyTransport(NewLoopback(), FaultPlan{
+		KillAddr:  workers[victim],
+		KillLevel: level,
+	})
+	addrs, _ := startWorkers(t, ft, workers)
+	cl := dialCluster(t, ft, addrs, opt)
+	c, v, s := distStream(t, cl, task)
+	ft.mu.Lock()
+	killed := ft.killed[workers[victim]]
+	ft.mu.Unlock()
+	if !killed {
+		t.Fatalf("fault plan never fired: worker %d was not killed at level %d", victim, level)
+	}
+	return c, v, s
+}
+
+// TestFailoverKillEachWorkerEachLevel is the acceptance sweep: W=3 workers,
+// 6 shards, R=2, and every (victim, kill level) pair. Each run must end
+// byte-identical to the sequential oracle despite losing a different worker
+// at a different depth.
+func TestFailoverKillEachWorkerEachLevel(t *testing.T) {
+	task := Task{Protocol: "naivemajority", N: 3, Inputs: model.Inputs{0, 1, 1},
+		Options: explore.Options{MaxConfigs: 300}, Shards: 6, Replicas: 2}
+	seqC, seqV, seq := seqStream(t, task)
+	workers := []string{"k0", "k1", "k2"}
+	for victim := range workers {
+		for level := 0; level <= 4; level++ {
+			label := fmt.Sprintf("kill-w%d-at-level%d", victim, level)
+			t.Run(label, func(t *testing.T) {
+				distC, distV, dist := killRun(t, task, workers, victim, level, failoverOptions())
+				compareStreams(t, label, seqC, seqV, seq, distC, distV, dist)
+			})
+		}
+	}
+}
+
+// TestFailoverTCP repeats a representative kill over real TCP: the dial
+// timeout, socket teardown, and re-dial paths of the production transport,
+// not just loopback pipes.
+func TestFailoverTCP(t *testing.T) {
+	task := Task{Protocol: "naivemajority", N: 3, Inputs: model.Inputs{0, 1, 1},
+		Options: explore.Options{MaxConfigs: 300}, Shards: 4, Replicas: 2}
+	seqC, seqV, seq := seqStream(t, task)
+	for _, level := range []int{1, 3} {
+		t.Run(fmt.Sprintf("level%d", level), func(t *testing.T) {
+			ft := NewFaultyTransport(TCP{}, FaultPlan{KillLevel: level})
+			addrs, _ := startWorkers(t, ft, []string{"127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0"})
+			// TCP addresses are assigned at Listen time, so the kill target
+			// is named after the workers are up.
+			ft.plan.KillAddr = addrs[1]
+			cl := dialCluster(t, ft, addrs, failoverOptions())
+			distC, distV, dist := distStream(t, cl, task)
+			compareStreams(t, fmt.Sprintf("tcp-kill-level%d", level), seqC, seqV, seq, distC, distV, dist)
+		})
+	}
+}
+
+// TestReplicasOneKillAborts pins the R=1 contract from the failure model:
+// without a standby the loss is unrecoverable and the run must abort with
+// the lost-worker diagnostic, not hang and not return partial results.
+func TestReplicasOneKillAborts(t *testing.T) {
+	task := Task{Protocol: "naivemajority", N: 3, Inputs: model.Inputs{0, 1, 1},
+		Options: explore.Options{MaxConfigs: 300}, Shards: 4, Replicas: 1}
+	workers := []string{"s0", "s1", "s2"}
+	ft := NewFaultyTransport(NewLoopback(), FaultPlan{KillAddr: workers[1], KillLevel: 2})
+	addrs, _ := startWorkers(t, ft, workers)
+	cl := dialCluster(t, ft, addrs, failoverOptions())
+	_, _, err := cl.Explore(task, func(*model.Config, int, func() model.Schedule) bool { return false })
+	if err == nil {
+		t.Fatal("R=1 exploration succeeded despite a killed worker")
+	}
+	if !strings.Contains(err.Error(), "lost") {
+		t.Fatalf("error does not identify the lost worker: %v", err)
+	}
+}
+
+// TestChaosConnDrops injects seeded random connection drops (workers stay
+// alive, so every re-dial succeeds): retries plus idempotent workers must
+// absorb all of it byte-identically.
+func TestChaosConnDrops(t *testing.T) {
+	task := Task{Protocol: "naivemajority", N: 3, Inputs: model.Inputs{0, 1, 1},
+		Options: explore.Options{MaxConfigs: 300}, Shards: 4, Replicas: 2}
+	seqC, seqV, seq := seqStream(t, task)
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			ft := NewFaultyTransport(NewLoopback(), FaultPlan{Seed: seed, DropProb: 0.08})
+			addrs, _ := startWorkers(t, ft, []string{"d0", "d1", "d2"})
+			opt := failoverOptions()
+			opt.Retries = 8
+			cl := dialCluster(t, ft, addrs, opt)
+			distC, distV, dist := distStream(t, cl, task)
+			compareStreams(t, fmt.Sprintf("drops-seed%d", seed), seqC, seqV, seq, distC, distV, dist)
+		})
+	}
+}
+
+// TestChaosNeverWrong is the safety property under mixed faults: drops,
+// truncations, and deadline-busting delays at once. A run may abort loudly
+// (if retries are exhausted), but a run that reports success must be
+// byte-identical to the oracle — wrong answers are never acceptable.
+func TestChaosNeverWrong(t *testing.T) {
+	task := Task{Protocol: "naivemajority", N: 3, Inputs: model.Inputs{0, 1, 1},
+		Options: explore.Options{MaxConfigs: 200}, Shards: 4, Replicas: 2}
+	seqC, seqV, seq := seqStream(t, task)
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			ft := NewFaultyTransport(NewLoopback(), FaultPlan{
+				Seed:         seed,
+				DropProb:     0.04,
+				TruncateProb: 0.02,
+				DelayProb:    0.02,
+				Delay:        400 * time.Millisecond,
+			})
+			addrs, _ := startWorkers(t, ft, []string{"x0", "x1", "x2"})
+			opt := failoverOptions()
+			opt.RPCTimeout = 200 * time.Millisecond
+			opt.Retries = 6
+			cl := dialCluster(t, ft, addrs, opt)
+			var dist []step
+			distC, distV, err := cl.Explore(task, func(cfg *model.Config, depth int, path func() model.Schedule) bool {
+				dist = append(dist, step{cfg.Key(), depth, path().String()})
+				return false
+			})
+			if err != nil {
+				t.Logf("seed %d aborted loudly (acceptable): %v", seed, err)
+				return
+			}
+			compareStreams(t, fmt.Sprintf("chaos-seed%d", seed), seqC, seqV, seq, distC, distV, dist)
+		})
+	}
+}
+
+// TestCompressionDifferential negotiates frame compression and checks the
+// results are still byte-identical — compression must be invisible above
+// the wire. TCP exercises the real socket framing.
+func TestCompressionDifferential(t *testing.T) {
+	task := Task{Protocol: "naivemajority", N: 3, Inputs: model.Inputs{0, 1, 1},
+		Options: explore.Options{MaxConfigs: 400}, Shards: 3, Replicas: 2}
+	seqC, seqV, seq := seqStream(t, task)
+	for _, tr := range []struct {
+		name string
+		tr   Transport
+	}{{"loopback", NewLoopback()}, {"tcp", TCP{}}} {
+		t.Run(tr.name, func(t *testing.T) {
+			names := []string{"z0", "z1", "z2"}
+			if tr.name == "tcp" {
+				names = []string{"127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0"}
+			}
+			addrs, _ := startWorkers(t, tr.tr, names)
+			cl := dialCluster(t, tr.tr, addrs, RPCOptions{Compress: true})
+			distC, distV, dist := distStream(t, cl, task)
+			compareStreams(t, "compress-"+tr.name, seqC, seqV, seq, distC, distV, dist)
+		})
+	}
+}
+
+// TestCompressionWithFailover composes the two new mechanisms: compressed
+// frames and a scripted kill. The fault injector must see through the
+// compressed level prefix, and the promoted standby must negotiate its own
+// compressed connection.
+func TestCompressionWithFailover(t *testing.T) {
+	task := Task{Protocol: "naivemajority", N: 3, Inputs: model.Inputs{0, 1, 1},
+		Options: explore.Options{MaxConfigs: 300}, Shards: 4, Replicas: 2}
+	seqC, seqV, seq := seqStream(t, task)
+	workers := []string{"c0", "c1", "c2"}
+	ft := NewFaultyTransport(NewLoopback(), FaultPlan{KillAddr: workers[2], KillLevel: 2})
+	addrs, _ := startWorkers(t, ft, workers)
+	opt := failoverOptions()
+	opt.Compress = true
+	cl := dialCluster(t, ft, addrs, opt)
+	distC, distV, dist := distStream(t, cl, task)
+	compareStreams(t, "compress-failover", seqC, seqV, seq, distC, distV, dist)
+}
+
+// TestChooseCodec pins the hello negotiation table, including the
+// old-peer/unknown-codec fallbacks to plain frames.
+func TestChooseCodec(t *testing.T) {
+	for _, tc := range []struct {
+		offered []string
+		want    string
+	}{
+		{nil, ""},
+		{[]string{}, ""},
+		{[]string{codecFlate}, codecFlate},
+		{[]string{"zstd-nonexistent"}, ""},
+		{[]string{"zstd-nonexistent", codecFlate}, codecFlate},
+	} {
+		if got := chooseCodec(tc.offered); got != tc.want {
+			t.Errorf("chooseCodec(%v) = %q, want %q", tc.offered, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffDelay pins the retry backoff's shape: full jitter within a
+// capped exponential ceiling, deterministic per seed, and actually jittered
+// (not a constant).
+func TestBackoffDelay(t *testing.T) {
+	base := 50 * time.Millisecond
+	max := 300 * time.Millisecond
+	rng := rand.New(rand.NewSource(7))
+	seen := map[time.Duration]bool{}
+	for attempt := 1; attempt <= 20; attempt++ {
+		d := backoffDelay(base, max, attempt, rng)
+		if d < 0 {
+			t.Fatalf("attempt %d: negative delay %v", attempt, d)
+		}
+		ceiling := base << (attempt - 1)
+		if attempt > 10 || ceiling > max || ceiling < 0 {
+			ceiling = max
+		}
+		if d > ceiling {
+			t.Fatalf("attempt %d: delay %v above ceiling %v", attempt, d, ceiling)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("expected jittered delays, got only %d distinct values", len(seen))
+	}
+	// Determinism: the same seed replays the same schedule.
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for attempt := 1; attempt <= 10; attempt++ {
+		if da, db := backoffDelay(base, max, attempt, a), backoffDelay(base, max, attempt, b); da != db {
+			t.Fatalf("attempt %d: same seed gave %v and %v", attempt, da, db)
+		}
+	}
+}
+
+// TestShardReplicaAssignment pins the deterministic replica chains the
+// failover contract depends on: shard s lives on workers (s+r) mod W, the
+// chain never repeats a worker, and every worker can compute its own
+// replica set locally from (shard, W, R) alone.
+func TestShardReplicaAssignment(t *testing.T) {
+	for _, tc := range []struct {
+		shard, workers, replicas int
+		want                     []int
+	}{
+		{0, 3, 2, []int{0, 1}},
+		{2, 3, 2, []int{2, 0}},
+		{5, 3, 2, []int{2, 0}},
+		{1, 4, 3, []int{1, 2, 3}},
+		{3, 2, 5, []int{1, 0}}, // R clamped to W
+		{0, 1, 1, []int{0}},
+		{4, 3, 0, []int{1}}, // R clamped up to 1
+	} {
+		got := shardReplicas(tc.shard, tc.workers, tc.replicas)
+		if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+			t.Errorf("shardReplicas(%d, %d, %d) = %v, want %v",
+				tc.shard, tc.workers, tc.replicas, got, tc.want)
+		}
+		for _, w := range got {
+			if !workerReplicatesShard(w, tc.shard, tc.workers, tc.replicas) {
+				t.Errorf("workerReplicatesShard(%d, %d, %d, %d) = false, but %d is in chain %v",
+					w, tc.shard, tc.workers, tc.replicas, w, got)
+			}
+		}
+	}
+}
+
+// TestInterruptAtLevelBoundary pins the coordinator half of graceful
+// shutdown: Interrupt stops the run at the next level boundary with
+// ErrInterrupted rather than mid-phase, so partial results are still a
+// complete BFS prefix.
+func TestInterruptAtLevelBoundary(t *testing.T) {
+	lb := NewLoopback()
+	addrs, _ := startWorkers(t, lb, []string{"i0", "i1"})
+	cl := dialCluster(t, lb, addrs, RPCOptions{})
+	task := Task{Protocol: "naivemajority", N: 3, Inputs: model.Inputs{0, 1, 1}}
+	visits := 0
+	_, _, err := cl.Explore(task, func(*model.Config, int, func() model.Schedule) bool {
+		visits++
+		if visits == 10 {
+			cl.Interrupt()
+		}
+		return false
+	})
+	if err != ErrInterrupted {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	if visits < 10 {
+		t.Fatalf("interrupted before the in-flight level finished: %d visits", visits)
+	}
+	// The cluster is reusable after an interrupt.
+	if _, _, err := cl.Explore(task, func(*model.Config, int, func() model.Schedule) bool { return false }); err != nil {
+		t.Fatalf("re-run after interrupt failed: %v", err)
+	}
+}
+
+// TestWorkerDrain pins graceful shutdown: a draining worker finishes the
+// in-flight request, closes its connections, and Wait returns.
+func TestWorkerDrain(t *testing.T) {
+	lb := NewLoopback()
+	inner, err := lb.Listen("drain0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(nil)
+	go w.Serve(inner)
+	cl := dialCluster(t, lb, []string{"drain0"}, RPCOptions{})
+	task := Task{Protocol: "waitall", N: 3, Inputs: model.Inputs{0, 1, 1}}
+	if _, _, err := cl.Explore(task, func(*model.Config, int, func() model.Schedule) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	if w.RequestsServed() == 0 {
+		t.Fatal("worker served no requests")
+	}
+	w.Drain()
+	inner.Close()
+	done := make(chan struct{})
+	go func() { w.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not drain")
+	}
+}

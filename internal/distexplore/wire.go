@@ -23,6 +23,11 @@ type initReq struct {
 	Shards      int
 	WorkerCount int
 	WorkerIndex int
+	// Replicas is the shard replication factor: shard s is held by workers
+	// (s+r) mod WorkerCount for r = 0..Replicas-1 (see replica.go). Decoded
+	// as 1 when absent, so an older coordinator gets the unreplicated
+	// layout it expects.
+	Replicas int
 }
 
 func (r *initReq) encode() []byte {
@@ -39,6 +44,7 @@ func (r *initReq) encode() []byte {
 	b = model.AppendUvarint(b, uint64(r.Shards))
 	b = model.AppendUvarint(b, uint64(r.WorkerCount))
 	b = model.AppendUvarint(b, uint64(r.WorkerIndex))
+	b = model.AppendUvarint(b, uint64(r.Replicas))
 	return b
 }
 
@@ -84,6 +90,14 @@ func decodeInitReq(b []byte) (*initReq, error) {
 		}
 		*dst = int(v)
 		b = b[n:]
+	}
+	r.Replicas = 1
+	if len(b) > 0 {
+		v, _, err := model.ConsumeUvarint(b)
+		if err != nil {
+			return nil, fmt.Errorf("init replicas: %w", err)
+		}
+		r.Replicas = int(v)
 	}
 	return &r, nil
 }
@@ -200,6 +214,127 @@ func decodeLevelIndices(b []byte) (level int, idx []uint64, err error) {
 		b = b[n:]
 	}
 	return int(lv), idx, nil
+}
+
+// shardGroup is one shard's slice of a level's candidates, in global merge
+// order. Dedup requests carry one group per shard the receiving worker
+// replicates, so a worker can answer for several shards in one RPC while
+// the coordinator still reads freshness per shard — which is what lets it
+// take any live replica's answer for a shard whose primary died.
+type shardGroup struct {
+	Shard int
+	Cands []candidate
+}
+
+func encodeShardGroups(level int, groups []shardGroup) []byte {
+	b := model.AppendUvarint(nil, uint64(level))
+	b = model.AppendUvarint(b, uint64(len(groups)))
+	for _, g := range groups {
+		b = model.AppendUvarint(b, uint64(g.Shard))
+		b = model.AppendUvarint(b, uint64(len(g.Cands)))
+		for _, c := range g.Cands {
+			b = appendCandidate(b, c)
+		}
+	}
+	return b
+}
+
+func decodeShardGroups(b []byte) (level int, groups []shardGroup, err error) {
+	lv, n, err := model.ConsumeUvarint(b)
+	if err != nil {
+		return 0, nil, fmt.Errorf("shard groups level: %w", err)
+	}
+	b = b[n:]
+	count, n, err := model.ConsumeUvarint(b)
+	if err != nil {
+		return 0, nil, fmt.Errorf("shard groups count: %w", err)
+	}
+	b = b[n:]
+	groups = make([]shardGroup, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var g shardGroup
+		s, n, err := model.ConsumeUvarint(b)
+		if err != nil {
+			return 0, nil, fmt.Errorf("shard group %d id: %w", i, err)
+		}
+		g.Shard = int(s)
+		b = b[n:]
+		cn, n, err := model.ConsumeUvarint(b)
+		if err != nil {
+			return 0, nil, fmt.Errorf("shard group %d size: %w", i, err)
+		}
+		b = b[n:]
+		g.Cands = make([]candidate, 0, cn)
+		for j := uint64(0); j < cn; j++ {
+			c, n, err := consumeCandidate(b)
+			if err != nil {
+				return 0, nil, fmt.Errorf("shard group %d candidate %d: %w", i, j, err)
+			}
+			g.Cands = append(g.Cands, c)
+			b = b[n:]
+		}
+		groups = append(groups, g)
+	}
+	return int(lv), groups, nil
+}
+
+// shardIndices is one shard's dedup answer: the indices (into that shard's
+// request group) of first-seen candidates.
+type shardIndices struct {
+	Shard int
+	Fresh []uint64
+}
+
+func encodeShardIndices(level int, groups []shardIndices) []byte {
+	b := model.AppendUvarint(nil, uint64(level))
+	b = model.AppendUvarint(b, uint64(len(groups)))
+	for _, g := range groups {
+		b = model.AppendUvarint(b, uint64(g.Shard))
+		b = model.AppendUvarint(b, uint64(len(g.Fresh)))
+		for _, v := range g.Fresh {
+			b = model.AppendUvarint(b, v)
+		}
+	}
+	return b
+}
+
+func decodeShardIndices(b []byte) (level int, groups []shardIndices, err error) {
+	lv, n, err := model.ConsumeUvarint(b)
+	if err != nil {
+		return 0, nil, fmt.Errorf("shard indices level: %w", err)
+	}
+	b = b[n:]
+	count, n, err := model.ConsumeUvarint(b)
+	if err != nil {
+		return 0, nil, fmt.Errorf("shard indices count: %w", err)
+	}
+	b = b[n:]
+	groups = make([]shardIndices, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var g shardIndices
+		s, n, err := model.ConsumeUvarint(b)
+		if err != nil {
+			return 0, nil, fmt.Errorf("shard indices %d id: %w", i, err)
+		}
+		g.Shard = int(s)
+		b = b[n:]
+		fn, n, err := model.ConsumeUvarint(b)
+		if err != nil {
+			return 0, nil, fmt.Errorf("shard indices %d size: %w", i, err)
+		}
+		b = b[n:]
+		g.Fresh = make([]uint64, 0, fn)
+		for j := uint64(0); j < fn; j++ {
+			v, n, err := model.ConsumeUvarint(b)
+			if err != nil {
+				return 0, nil, fmt.Errorf("shard indices %d fresh %d: %w", i, j, err)
+			}
+			g.Fresh = append(g.Fresh, v)
+			b = b[n:]
+		}
+		groups = append(groups, g)
+	}
+	return int(lv), groups, nil
 }
 
 // adoptNode is one admitted configuration being handed to its owning

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/flpsim/flp/internal/explore"
@@ -28,19 +29,24 @@ func RegistryProvider(name string, n int) (model.Protocol, error) {
 	return factory(n)
 }
 
-// ownedNode is one frontier configuration owned by this worker: its global
-// node index (assigned by the coordinator in deterministic merge order)
-// and the materialized configuration.
+// ownedNode is one frontier configuration held by this worker: its global
+// node index (assigned by the coordinator in deterministic merge order),
+// the shard it belongs to, and the materialized configuration. With
+// replication a worker holds frontier nodes both for shards it leads and
+// shards it stands by for; the shard tag is what lets an expand request
+// select exactly the shards this worker currently leads.
 type ownedNode struct {
-	idx uint64
-	cfg *model.Config
+	idx   uint64
+	shard int
+	cfg   *model.Config
 }
 
 // job is the state of one exploration on a worker: the reconstructed
-// protocol and root, the visited-set shards this worker owns, and the
-// frontier levels awaiting expansion. Jobs survive connection loss — a
-// coordinator that re-dials resumes against the same state, and the
-// last-level response caches make every RPC idempotent under replay.
+// protocol and root, the visited-set shards this worker replicates, and
+// the frontier levels awaiting expansion. Jobs survive connection loss — a
+// coordinator that re-dials resumes against the same state, and because
+// expansion is pure and dedup/adopt are guarded by per-level caches, every
+// RPC is idempotent under replay.
 type job struct {
 	pr          model.Protocol
 	root        *model.Config
@@ -48,28 +54,37 @@ type job struct {
 	shards      int
 	workerCount int
 	workerIndex int
+	replicas    int
 
 	// visited is this worker's slice of the global visited set: every
-	// canonical key whose hash lands in one of the worker's shard ranges,
+	// canonical key whose hash lands in a shard this worker replicates,
 	// bucketed by fingerprint with full-key confirmation (fingerprint
-	// collisions cost a string comparison, never correctness).
+	// collisions cost a string comparison, never correctness). Replicas of
+	// one shard apply the same dedup batches in the same order, so their
+	// slices are identical at every level boundary.
 	visited map[uint64][]string
 
 	// frontier holds adopted-but-unexpanded nodes, keyed by depth, in
-	// ascending global index order.
+	// ascending global index order. Levels strictly below the one being
+	// served are globally finished and pruned lazily (pruneBelow).
 	frontier map[int][]ownedNode
 
 	// levelCache keeps the successor configurations this worker computed
-	// during the last expansion and also owns, so adopting them back does
-	// not pay a schedule replay.
+	// during the current level's expansion and also replicates, so
+	// adopting them back does not pay a schedule replay. cacheLevel tracks
+	// which level the cache belongs to; a repeated expand at the same
+	// level (failover hands a promoted standby extra shards) accumulates
+	// into it rather than resetting.
 	levelCache map[string]*model.Config
+	cacheLevel int
 
-	// Idempotency guards: the level most recently processed by each RPC
-	// type, with the cached response. A replayed request (the coordinator
-	// retried after a lost response) is answered from cache instead of
-	// being re-applied.
-	lastExpand, lastDedup, lastAdopt int
-	lastExpandResp, lastDedupResp    []byte
+	// Idempotency guards for the state-mutating RPCs: the level most
+	// recently applied, with the dedup response cached. A replayed request
+	// (the coordinator retried after a lost response) is answered from
+	// cache instead of being re-applied. Expansion needs no guard — it is
+	// pure over the frontier and recomputed on every call.
+	lastDedup, lastAdopt int
+	lastDedupResp        []byte
 }
 
 func (j *job) visitedAdd(hash uint64, key string) (fresh bool) {
@@ -82,22 +97,60 @@ func (j *job) visitedAdd(hash uint64, key string) (fresh bool) {
 	return true
 }
 
-// ownsKey reports whether a fingerprint lands in one of this worker's
-// shard ranges.
-func (j *job) ownsHash(h uint64) bool {
-	return ownerWorker(ownerShard(h, j.shards), j.workerCount) == j.workerIndex
+// replicatesShard reports whether this worker holds the shard, as primary
+// or standby.
+func (j *job) replicatesShard(s int) bool {
+	return workerReplicatesShard(j.workerIndex, s, j.workerCount, j.replicas)
 }
 
-// Worker serves one visited-set partition of the cluster: it owns the
-// shards dealt to its index, expands its owned frontier each level, dedups
-// candidates routed to it, and adopts admitted nodes. One exploration job
-// runs at a time; job state is shared across connections so a coordinator
-// that loses a connection mid-run can re-dial and resume.
+// replicatesHash reports whether a fingerprint lands in a shard this
+// worker holds.
+func (j *job) replicatesHash(h uint64) bool {
+	return j.replicatesShard(ownerShard(h, j.shards))
+}
+
+// pruneBelow drops frontier levels strictly below the one being served:
+// any request for level L proves every level < L is globally finished, so
+// standby copies kept for failover are no longer needed.
+func (j *job) pruneBelow(level int) {
+	for l := range j.frontier {
+		if l < level {
+			delete(j.frontier, l)
+		}
+	}
+}
+
+// Worker serves one visited-set partition of the cluster: it holds the
+// shards whose replica chains include its index, expands the shards it is
+// asked to lead each level, dedups candidates routed to it, and adopts
+// admitted nodes. One exploration job runs at a time; job state is shared
+// across connections so a coordinator that loses a connection mid-run can
+// re-dial and resume.
 type Worker struct {
 	provider ProtocolProvider
 
 	mu  sync.Mutex
 	job *job
+
+	// draining is set by Drain: every connection finishes its in-flight
+	// request, writes the response, and closes. handlers tracks live
+	// connection goroutines so Wait can block until the last one is done;
+	// conns tracks the connections themselves so Drain can unblock the
+	// idle ones (parked in a read with no request in flight).
+	draining atomic.Bool
+	handlers sync.WaitGroup
+	served   atomic.Int64
+	connMu   sync.Mutex
+	conns    map[*connState]struct{}
+}
+
+// connState pairs a coordinator connection with its in-flight flag, so
+// Drain closes idle connections immediately but lets a connection that is
+// mid-request answer before closing.
+type connState struct {
+	conn net.Conn
+	mu   sync.Mutex
+	busy bool
 }
 
 // NewWorker returns a worker resolving protocols through provider (nil
@@ -120,31 +173,102 @@ func (w *Worker) Serve(l Listener) error {
 		if err != nil {
 			return err
 		}
-		go w.handle(conn)
+		cs := &connState{conn: conn}
+		w.connMu.Lock()
+		if w.conns == nil {
+			w.conns = make(map[*connState]struct{})
+		}
+		w.conns[cs] = struct{}{}
+		w.connMu.Unlock()
+		w.handlers.Add(1)
+		go w.handle(cs)
 	}
 }
 
+// Drain begins a graceful shutdown: in-flight requests complete and are
+// answered, then each connection closes; idle connections close at once.
+// Combined with closing the listener, this lets a worker process exit
+// cleanly mid-run — with replication the coordinator promotes standbys and
+// the run continues; without it the run aborts with the usual lost-worker
+// diagnostic.
+func (w *Worker) Drain() {
+	w.draining.Store(true)
+	w.connMu.Lock()
+	defer w.connMu.Unlock()
+	for cs := range w.conns {
+		cs.mu.Lock()
+		if !cs.busy {
+			cs.conn.Close()
+		}
+		cs.mu.Unlock()
+	}
+}
+
+// Wait blocks until every connection goroutine has finished (use after
+// Drain plus closing the listener).
+func (w *Worker) Wait() { w.handlers.Wait() }
+
+// RequestsServed reports how many requests this worker has answered,
+// for shutdown summaries.
+func (w *Worker) RequestsServed() int64 { return w.served.Load() }
+
 // handle runs one connection's request loop. Requests are processed
 // strictly in order; the job state is locked per request because a
-// re-dialed connection may take over from a dying one.
-func (w *Worker) handle(conn net.Conn) {
-	defer conn.Close()
+// re-dialed connection may take over from a dying one. The hello frame is
+// handled here rather than in dispatch because the negotiated codec is
+// per-connection state, not job state.
+func (w *Worker) handle(cs *connState) {
+	defer w.handlers.Done()
+	defer func() {
+		w.connMu.Lock()
+		delete(w.conns, cs)
+		w.connMu.Unlock()
+		cs.conn.Close()
+	}()
+	compress := false
 	for {
-		typ, payload, err := readFrame(conn, time.Time{})
+		typ, payload, err := readFrame(cs.conn, time.Time{})
 		if err != nil {
 			return // connection gone; the coordinator will re-dial or abort
 		}
-		rtyp, rpayload := w.dispatch(typ, payload)
-		if err := writeFrame(conn, time.Now().Add(workerWriteTimeout), rtyp, rpayload); err != nil {
+		cs.mu.Lock()
+		cs.busy = true
+		cs.mu.Unlock()
+		var rtyp byte
+		var rpayload []byte
+		if typ == frameHello {
+			rtyp, rpayload, compress = w.hello(payload)
+		} else {
+			rtyp, rpayload = w.dispatch(typ, payload)
+		}
+		w.served.Add(1)
+		werr := writeFrame(cs.conn, time.Now().Add(workerWriteTimeout), rtyp, rpayload, compress)
+		cs.mu.Lock()
+		cs.busy = false
+		cs.mu.Unlock()
+		if werr != nil || w.draining.Load() {
 			return
 		}
 	}
 }
 
+// hello answers a capability negotiation: accept flate when offered.
+// Compression of *our* responses starts immediately; the coordinator
+// starts compressing its requests only after reading this response, so
+// neither side ever sends a compressed frame the peer has not agreed to.
+func (w *Worker) hello(payload []byte) (byte, []byte, bool) {
+	offered, err := decodeHello(payload)
+	if err != nil {
+		return frameErr, []byte(err.Error()), false
+	}
+	codec := chooseCodec(offered)
+	return frameHelloResp, model.AppendString(nil, codec), codec == codecFlate
+}
+
 // dispatch applies one request to the worker state and returns the
 // response frame. Failures are reported as frameErr, which the
 // coordinator treats as permanent (it aborts the exploration with a
-// diagnostic rather than retrying).
+// diagnostic rather than retrying or failing over).
 func (w *Worker) dispatch(typ byte, payload []byte) (byte, []byte) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -164,27 +288,24 @@ func (w *Worker) dispatch(typ byte, payload []byte) (byte, []byte) {
 		if w.job == nil {
 			return fail(fmt.Errorf("distexplore: expand without an active job"))
 		}
-		level, _, err := decodeLevelIndices(payload)
+		level, shards, err := decodeLevelIndices(payload)
 		if err != nil {
 			return fail(err)
 		}
-		if level == w.job.lastExpand {
-			return frameExpandResp, w.job.lastExpandResp
-		}
-		return frameExpandResp, w.expandLevel(level)
+		return frameExpandResp, w.expandLevel(level, shards)
 
 	case frameDedup:
 		if w.job == nil {
 			return fail(fmt.Errorf("distexplore: dedup without an active job"))
 		}
-		level, cands, err := decodeLevelCandidates(payload)
+		level, groups, err := decodeShardGroups(payload)
 		if err != nil {
 			return fail(err)
 		}
 		if level == w.job.lastDedup {
 			return frameDedupResp, w.job.lastDedupResp
 		}
-		return frameDedupResp, w.dedupLevel(level, cands)
+		return frameDedupResp, w.dedupLevel(level, groups)
 
 	case frameAdopt:
 		if w.job == nil {
@@ -216,6 +337,10 @@ func (w *Worker) initJob(req *initReq) error {
 		return fmt.Errorf("distexplore: invalid shard layout %d shards / worker %d of %d",
 			req.Shards, req.WorkerIndex, req.WorkerCount)
 	}
+	if req.Replicas < 1 || req.Replicas > req.WorkerCount {
+		return fmt.Errorf("distexplore: invalid replication factor %d for %d workers",
+			req.Replicas, req.WorkerCount)
+	}
 	pr, err := w.provider(req.Protocol, req.N)
 	if err != nil {
 		return err
@@ -236,30 +361,44 @@ func (w *Worker) initJob(req *initReq) error {
 		shards:      req.Shards,
 		workerCount: req.WorkerCount,
 		workerIndex: req.WorkerIndex,
+		replicas:    req.Replicas,
 		visited:     make(map[uint64][]string),
 		frontier:    make(map[int][]ownedNode),
-		lastExpand:  -1,
+		cacheLevel:  -1,
 		lastDedup:   -1,
 		lastAdopt:   -1,
 	}
 	return nil
 }
 
-// expandLevel expands every owned frontier node at the given depth through
-// the shared engine core, returning the encoded candidate list. Expansion
-// is pure, so owned nodes can be released immediately; successors this
-// worker also owns are cached so adoption does not replay their schedules.
-func (w *Worker) expandLevel(level int) []byte {
+// expandLevel expands the frontier nodes of the requested shards at the
+// given depth through the shared engine core, returning the encoded
+// candidate list. Expansion is pure — the frontier is left in place and
+// the same request (or a different shard subset after a failover
+// promotion) can be recomputed at any time, which is what makes the expand
+// phase retryable with no idempotency log. Successors landing in shards
+// this worker replicates are cached so adoption does not replay their
+// schedules.
+func (w *Worker) expandLevel(level int, shards []uint64) []byte {
 	j := w.job
-	nodes := j.frontier[level]
-	delete(j.frontier, level)
-	j.levelCache = make(map[string]*model.Config)
+	j.pruneBelow(level)
+	if j.cacheLevel != level {
+		j.levelCache = make(map[string]*model.Config)
+		j.cacheLevel = level
+	}
+	want := make(map[int]bool, len(shards))
+	for _, s := range shards {
+		want[int(s)] = true
+	}
 	var cands []candidate
-	for _, nd := range nodes {
+	for _, nd := range j.frontier[level] {
+		if !want[nd.shard] {
+			continue
+		}
 		for si, s := range explore.ExpandConfig(j.pr, nd.cfg, j.skip) {
 			h := s.Cfg.Hash()
 			key := s.Cfg.Key()
-			if j.ownsHash(h) {
+			if j.replicatesHash(h) {
 				j.levelCache[key] = s.Cfg
 			}
 			cands = append(cands, candidate{
@@ -271,25 +410,29 @@ func (w *Worker) expandLevel(level int) []byte {
 			})
 		}
 	}
-	resp := encodeLevelCandidates(level, cands)
-	j.lastExpand, j.lastExpandResp = level, resp
-	return resp
+	return encodeLevelCandidates(level, cands)
 }
 
-// dedupLevel filters a globally-ordered candidate batch against this
-// worker's visited shards, returning the indices of first-seen
-// configurations. The coordinator sends candidates pre-sorted in global
-// merge order, so "first seen" here coincides with "first seen by the
-// sequential engine".
-func (w *Worker) dedupLevel(level int, cands []candidate) []byte {
+// dedupLevel filters per-shard candidate batches against this worker's
+// visited slices, returning per shard the indices of first-seen
+// configurations. The coordinator sends each shard's candidates pre-sorted
+// in global merge order and sends the identical groups to every replica of
+// the shard, so all replicas compute the same answer and "first seen here"
+// coincides with "first seen by the sequential engine".
+func (w *Worker) dedupLevel(level int, groups []shardGroup) []byte {
 	j := w.job
-	var fresh []uint64
-	for i, c := range cands {
-		if j.visitedAdd(c.Hash, c.Key) {
-			fresh = append(fresh, uint64(i))
+	j.pruneBelow(level)
+	out := make([]shardIndices, 0, len(groups))
+	for _, g := range groups {
+		fresh := shardIndices{Shard: g.Shard}
+		for i, c := range g.Cands {
+			if j.visitedAdd(c.Hash, c.Key) {
+				fresh.Fresh = append(fresh.Fresh, uint64(i))
+			}
 		}
+		out = append(out, fresh)
 	}
-	resp := encodeLevelIndices(level, fresh)
+	resp := encodeShardIndices(level, out)
 	j.lastDedup, j.lastDedupResp = level, resp
 	return resp
 }
@@ -303,6 +446,10 @@ func (w *Worker) dedupLevel(level int, cands []candidate) []byte {
 func (w *Worker) adoptLevel(level int, nodes []adoptNode) error {
 	j := w.job
 	for _, nd := range nodes {
+		shard := ownerShard(model.HashKey(nd.Key), j.shards)
+		if !j.replicatesShard(shard) {
+			return fmt.Errorf("distexplore: node %d routed to worker %d, which does not replicate shard %d", nd.Index, j.workerIndex, shard)
+		}
 		cfg, ok := j.levelCache[nd.Key]
 		if !ok {
 			var err error
@@ -315,7 +462,7 @@ func (w *Worker) adoptLevel(level int, nodes []adoptNode) error {
 			return fmt.Errorf("distexplore: node %d integrity failure: replayed key diverges from transmitted key (protocol mismatch between cluster members?)", nd.Index)
 		}
 		j.visitedAdd(cfg.Hash(), nd.Key) // root adoption path; no-op after dedup
-		j.frontier[int(nd.Depth)] = append(j.frontier[int(nd.Depth)], ownedNode{idx: nd.Index, cfg: cfg})
+		j.frontier[int(nd.Depth)] = append(j.frontier[int(nd.Depth)], ownedNode{idx: nd.Index, shard: shard, cfg: cfg})
 	}
 	j.lastAdopt = level
 	return nil

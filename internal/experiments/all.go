@@ -70,6 +70,7 @@ func Suite(s Sizes) []Runner {
 		{"E18", func() (*Table, error) { return E18Election(0) }},
 		{"E19", E19DistExplore},
 		{"E20", E20ValencyAtlas},
+		{"E21", E21Failover},
 	}
 }
 

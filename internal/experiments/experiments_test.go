@@ -484,11 +484,45 @@ func TestE20ValencyAtlasShape(t *testing.T) {
 	}
 }
 
+func TestE21FailoverShape(t *testing.T) {
+	tab, bench, err := experiments.E21FailoverBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 || len(bench.Rows) != 4 {
+		t.Fatalf("E21 has %d table rows / %d bench rows, want 4/4", len(tab.Rows), len(bench.Rows))
+	}
+	sawKill := false
+	for i, r := range bench.Rows {
+		// Correctness only — timings are machine-dependent. The scenario
+		// sweep itself is the assertion: every scenario, including the
+		// scripted worker kill, must reproduce the sequential count.
+		if !r.CountsAgree {
+			t.Errorf("row %d (%s): count diverged from the sequential engine", i, r.Scenario)
+		}
+		if r.Configs <= 0 {
+			t.Errorf("row %d (%s): no configurations counted", i, r.Scenario)
+		}
+		if r.Fault != "none" {
+			sawKill = true
+			if r.Replicas < 2 {
+				t.Errorf("row %d (%s): fault scenario without replication", i, r.Scenario)
+			}
+		}
+		if got, _ := tab.Cell(i, "counts agree"); got != "true" {
+			t.Errorf("row %d: table reports counts agree = %q", i, got)
+		}
+	}
+	if !sawKill {
+		t.Error("E21 has no fault-injection scenario")
+	}
+}
+
 func TestSuiteAndRunByID(t *testing.T) {
 	s := experiments.DefaultSizes()
 	suite := experiments.Suite(s)
-	if len(suite) != 20 {
-		t.Fatalf("suite has %d experiments, want 20", len(suite))
+	if len(suite) != 21 {
+		t.Fatalf("suite has %d experiments, want 21", len(suite))
 	}
 	ids := map[string]bool{}
 	for _, r := range suite {
