@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-short test-dist test-chaos fuzz bench bench-parallel bench-valency vet
+.PHONY: all build test test-race test-short test-dist test-chaos fuzz fuzz-conformance corpus bench bench-parallel bench-valency vet
 
 all: build test
 
@@ -38,6 +38,21 @@ test-short:
 
 fuzz:
 	$(GO) test ./internal/model -fuzz FuzzConfigKeyHash -fuzztime 30s
+
+# Cross-engine conformance fuzzing: random generated protocols through
+# sequential, parallel, distributed (fault-free and under a scripted
+# kill), and atlas engines, asserting byte-identical results. A failing
+# input is shrunk to a minimal reproducer and dumped under
+# testdata/failures/ as a loadable fixture; replay it with
+# `flpcheck -genspec <name from the fixture> -conformance`.
+FUZZTIME ?= 30s
+fuzz-conformance:
+	$(GO) test ./internal/conformance -fuzz FuzzConformanceTable -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/conformance -fuzz FuzzConformanceBenOr -fuzztime $(FUZZTIME)
+
+# Re-mint the committed conformance corpus under testdata/protogen.
+corpus:
+	$(GO) run ./cmd/flpgen -out testdata/protogen -count 20
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .

@@ -20,8 +20,10 @@ import (
 	"strings"
 
 	"github.com/flpsim/flp"
+	"github.com/flpsim/flp/internal/conformance"
 	"github.com/flpsim/flp/internal/distexplore"
 	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/protogen"
 )
 
 func main() {
@@ -36,6 +38,9 @@ func main() {
 		cluster    = flag.String("cluster", "", "also run a distributed reachability census: 'loopback:W' spins up W in-process workers; otherwise comma-separated flpcluster worker addresses")
 		shards     = flag.Int("cluster-shards", 0, "visited-set shards for -cluster (0 = one per worker)")
 		creplicas  = flag.Int("cluster-replicas", 0, "replicas per shard for -cluster (0 = default 2; 1 disables failover)")
+		genseed    = flag.Uint64("genseed", 0, "check the generated protocol Derive(seed, DefaultDials(n)) instead of -protocol (0 = off)")
+		genspec    = flag.String("genspec", "", "check a generated protocol by its full gen: name (replays fuzzer reproducers; overrides -protocol and -n)")
+		conf       = flag.Bool("conformance", false, "run the cross-engine conformance harness on the selected protocol and exit")
 		list       = flag.Bool("list", false, "list available protocols and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -46,6 +51,23 @@ func main() {
 	if *list {
 		fmt.Println("available protocols:", strings.Join(flp.ProtocolNames(), ", "))
 		return
+	}
+	// Generated-protocol selection: both forms produce a self-describing
+	// gen: name, which the ordinary registry lookup below resolves.
+	switch {
+	case *genspec != "" && *genseed != 0:
+		fatalf("-genseed and -genspec are mutually exclusive")
+	case *genspec != "":
+		sp, err := protogen.FromName(*genspec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		*name = sp.Name()
+		*n = sp.N
+	case *genseed != 0:
+		sp := protogen.Derive(*genseed, protogen.DefaultDials(*n))
+		*name = sp.Name()
+		*n = sp.N
 	}
 	factory, ok := flp.LookupProtocol(*name)
 	if !ok {
@@ -59,6 +81,10 @@ func main() {
 	unbounded := *name == "paxos" || *name == "benor"
 
 	fmt.Printf("protocol: %s\n\n", pr.Name())
+	if *conf {
+		runConformance(*name, pr.N(), *budget)
+		return
+	}
 	runLemma2(pr, opt, unbounded)
 	if !unbounded {
 		fmt.Println("== Lemma 2 proof walk: adjacent univalent pairs ==")
@@ -76,6 +102,28 @@ func main() {
 	if *cluster != "" {
 		runClusterCensus(pr, *name, *budget, *cluster, *shards, *creplicas, unbounded)
 	}
+}
+
+// runConformance sweeps every input assignment through the cross-engine
+// conformance harness: sequential, parallel, distributed (fault-free and
+// under a scripted worker kill), and the valency atlas must all produce
+// byte-identical results.
+func runConformance(name string, n, budget int) {
+	fmt.Println("== Cross-engine conformance ==")
+	if budget > 2000 {
+		// The contract holds on truncated explorations exactly as on
+		// complete ones, so conformance never needs the checker's full
+		// budget; capping keeps the 2^n-input sweep interactive.
+		budget = 2000
+	}
+	for _, in := range flp.AllInputs(n) {
+		copt := conformance.Options{Explore: explore.Options{MaxConfigs: budget}, Chaos: true, ChaosSeed: 1}
+		if err := conformance.Check(name, in, copt); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("  inputs %s: all engines agree\n", in)
+	}
+	fmt.Printf("\n  sequential, parallel, distributed (plain and with a scripted kill), and atlas\n  engines produced byte-identical results at budget %d\n", budget)
 }
 
 // runClusterCensus cross-checks the distributed engine against the local

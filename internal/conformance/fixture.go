@@ -1,0 +1,134 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protogen"
+)
+
+// Fixture is one generated protocol pinned to disk: the corpus under
+// testdata/protogen is a directory of these, and the fuzz targets dump
+// shrunk reproducers in the same format. The protocol itself lives
+// entirely in Name (protogen names are self-describing), so a fixture
+// stays loadable by anything that can resolve a protocol name.
+type Fixture struct {
+	// Name is the self-describing gen: protocol name.
+	Name string `json:"name"`
+	// Inputs is the initial-value vector as a digit string ("011" gives
+	// process 0 input 0, processes 1 and 2 input 1) — human-readable and
+	// hand-editable, where a raw byte slice would JSON-encode as base64.
+	Inputs string `json:"inputs"`
+	// MaxConfigs bounds the conformance exploration for this fixture;
+	// 0 means the harness default.
+	MaxConfigs int `json:"max_configs,omitempty"`
+	// Note records where the fixture came from.
+	Note string `json:"note,omitempty"`
+}
+
+// NewFixture pins (sp, inputs) as a fixture.
+func NewFixture(sp protogen.Spec, inputs model.Inputs, maxConfigs int, note string) Fixture {
+	return Fixture{Name: sp.Name(), Inputs: inputs.String(), MaxConfigs: maxConfigs, Note: note}
+}
+
+// Spec decodes the fixture's protocol spec from its name.
+func (fx Fixture) Spec() (protogen.Spec, error) {
+	return protogen.FromName(fx.Name)
+}
+
+// InputValues decodes the fixture's input string.
+func (fx Fixture) InputValues() (model.Inputs, error) {
+	in := make(model.Inputs, 0, len(fx.Inputs))
+	for i, ch := range fx.Inputs {
+		switch ch {
+		case '0':
+			in = append(in, model.V0)
+		case '1':
+			in = append(in, model.V1)
+		default:
+			return nil, fmt.Errorf("conformance: fixture input %q: position %d is not a bit", fx.Inputs, i)
+		}
+	}
+	return in, nil
+}
+
+// Check runs the conformance harness on the fixture, applying its pinned
+// budget over opt's.
+func (fx Fixture) Check(opt Options) error {
+	sp, err := fx.Spec()
+	if err != nil {
+		return err
+	}
+	in, err := fx.InputValues()
+	if err != nil {
+		return err
+	}
+	if len(in) != sp.N {
+		return fmt.Errorf("conformance: fixture has %d inputs for %d processes", len(in), sp.N)
+	}
+	if fx.MaxConfigs > 0 {
+		opt.Explore.MaxConfigs = fx.MaxConfigs
+	}
+	return Check(fx.Name, in, opt)
+}
+
+// SaveFixture writes fx as indented JSON, creating parent directories.
+func SaveFixture(path string, fx Fixture) error {
+	raw, err := json.MarshalIndent(fx, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// LoadFixture reads one fixture and validates that it decodes.
+func LoadFixture(path string) (Fixture, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Fixture{}, err
+	}
+	var fx Fixture
+	if err := json.Unmarshal(raw, &fx); err != nil {
+		return Fixture{}, fmt.Errorf("conformance: %s: %w", path, err)
+	}
+	if _, err := fx.Spec(); err != nil {
+		return Fixture{}, fmt.Errorf("conformance: %s: %w", path, err)
+	}
+	if _, err := fx.InputValues(); err != nil {
+		return Fixture{}, fmt.Errorf("conformance: %s: %w", path, err)
+	}
+	return fx, nil
+}
+
+// LoadDir loads every *.json fixture in dir, sorted by filename so corpus
+// iteration order is stable.
+func LoadDir(dir string) ([]string, []Fixture, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	fixtures := make([]Fixture, 0, len(names))
+	for _, n := range names {
+		fx, err := LoadFixture(filepath.Join(dir, n))
+		if err != nil {
+			return nil, nil, err
+		}
+		fixtures = append(fixtures, fx)
+	}
+	return names, fixtures, nil
+}

@@ -1,0 +1,281 @@
+package conformance
+
+import (
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protogen"
+)
+
+// Failing is the predicate Shrink preserves: it must report true on the
+// original failing (spec, inputs) pair and on every accepted shrink step.
+// The fuzz targets pass "Check returns a Divergence"; tests may pass any
+// predicate.
+type Failing func(sp protogen.Spec, inputs model.Inputs) bool
+
+// DefaultShrinkBudget bounds how many candidate evaluations one Shrink
+// call may spend. Each evaluation runs the caller's predicate, which for
+// the conformance predicate means a full multi-engine check — the budget
+// is what keeps shrinking a failing fuzz input interactive.
+const DefaultShrinkBudget = 400
+
+type candidate struct {
+	sp protogen.Spec
+	in model.Inputs
+}
+
+// Shrink reduces a failing (spec, inputs) pair by greedy first-improvement
+// descent: candidates are proposed from most aggressive (drop a whole
+// process, phase, register, or symbol) to most surgical (inert one table
+// entry, drop one send, clear one decision, zero one input bit), the first
+// candidate that still fails is adopted, and the pass restarts until no
+// candidate fails or the budget runs out. The result is locally minimal:
+// no single proposed transform preserves the failure. budget <= 0 means
+// DefaultShrinkBudget.
+func Shrink(sp protogen.Spec, inputs model.Inputs, failing Failing, budget int) (protogen.Spec, model.Inputs) {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	attempts := 0
+	for {
+		improved := false
+		for _, cand := range candidates(sp, inputs) {
+			if attempts >= budget {
+				return sp, inputs
+			}
+			if cand.sp.Validate() != nil {
+				continue
+			}
+			attempts++
+			if failing(cand.sp, cand.in) {
+				sp, inputs = cand.sp, cand.in
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return sp, inputs
+		}
+	}
+}
+
+// cloneSpec deep-copies sp and clears its Derive provenance: a transformed
+// table no longer follows from (Seed, Dials), so the spec must encode
+// itself explicitly (the gen:j1: name form).
+func cloneSpec(sp protogen.Spec) protogen.Spec {
+	sp.Dials = nil
+	sp.Seed = 0
+	if sp.Table != nil {
+		sp.Table = append([]protogen.Transition(nil), sp.Table...)
+		for i := range sp.Table {
+			if sp.Table[i].Sends != nil {
+				sp.Table[i].Sends = append([]protogen.Send(nil), sp.Table[i].Sends...)
+			}
+		}
+	}
+	return sp
+}
+
+func cloneInputs(in model.Inputs) model.Inputs {
+	return append(model.Inputs(nil), in...)
+}
+
+// candidates proposes every single-step shrink of (sp, inputs), most
+// aggressive first.
+func candidates(sp protogen.Spec, inputs model.Inputs) []candidate {
+	var out []candidate
+	if sp.N > 2 {
+		for p := sp.N - 1; p >= 0; p-- {
+			out = append(out, dropProcess(sp, inputs, p))
+		}
+	}
+	if sp.Template == protogen.TemplateBenOr {
+		out = append(out, benorCandidates(sp, inputs)...)
+	} else {
+		out = append(out, tableCandidates(sp, inputs)...)
+	}
+	for p := range inputs {
+		if inputs[p] != model.V0 {
+			in := cloneInputs(inputs)
+			in[p] = model.V0
+			out = append(out, candidate{sp: sp, in: in})
+		}
+	}
+	return out
+}
+
+// dropProcess removes process p: inputs lose slot p, fixed send targets
+// are renumbered (a send to the removed process becomes a self-send, which
+// keeps the message in the system rather than silently deleting traffic),
+// and the Ben-Or thresholds are clamped to the smaller quorum space.
+func dropProcess(sp protogen.Spec, inputs model.Inputs, p int) candidate {
+	ns := cloneSpec(sp)
+	ns.N--
+	for i := range ns.Table {
+		for j := range ns.Table[i].Sends {
+			switch t := ns.Table[i].Sends[j].Target; {
+			case t == p:
+				ns.Table[i].Sends[j].Target = protogen.TargetSelf
+			case t > p:
+				ns.Table[i].Sends[j].Target = t - 1
+			}
+		}
+	}
+	for _, th := range []*int{&ns.WaitNeed, &ns.ProposeNeed, &ns.DecideNeed} {
+		if *th > ns.N {
+			*th = ns.N
+		}
+	}
+	in := make(model.Inputs, 0, len(inputs)-1)
+	for q, v := range inputs {
+		if q != p {
+			in = append(in, v)
+		}
+	}
+	return candidate{sp: ns, in: in}
+}
+
+func benorCandidates(sp protogen.Spec, inputs model.Inputs) []candidate {
+	var out []candidate
+	dec := func(f func(*protogen.Spec) *int) {
+		ns := cloneSpec(sp)
+		field := f(&ns)
+		if *field > 1 {
+			*field--
+			out = append(out, candidate{sp: ns, in: cloneInputs(inputs)})
+		}
+	}
+	dec(func(s *protogen.Spec) *int { return &s.MaxRound })
+	dec(func(s *protogen.Spec) *int { return &s.WaitNeed })
+	dec(func(s *protogen.Spec) *int { return &s.ProposeNeed })
+	dec(func(s *protogen.Spec) *int { return &s.DecideNeed })
+	return out
+}
+
+func tableCandidates(sp protogen.Spec, inputs model.Inputs) []candidate {
+	var out []candidate
+	if c, ok := dropPhase(sp, inputs); ok {
+		out = append(out, c)
+	}
+	if c, ok := dropReg(sp, inputs); ok {
+		out = append(out, c)
+	}
+	if c, ok := dropSym(sp, inputs); ok {
+		out = append(out, c)
+	}
+	// Entry-level surgery: inert the entry, drop one send, clear the
+	// decision. Iterating (phase, reg, sym) keeps candidate order
+	// deterministic for a given spec shape.
+	for h := 0; h < sp.Phases; h++ {
+		for r := 0; r < sp.Regs; r++ {
+			for s := 0; s <= sp.Alphabet; s++ {
+				i := tableIndex(sp, h, r, s)
+				tr := sp.Table[i]
+				inert := len(tr.Sends) == 0 && tr.Decide == protogen.DecideNone && tr.Next == h && tr.Reg == r
+				if !inert {
+					ns := cloneSpec(sp)
+					ns.Table[i] = protogen.Transition{Next: h, Reg: r}
+					out = append(out, candidate{sp: ns, in: cloneInputs(inputs)})
+				}
+				if len(tr.Sends) > 0 {
+					ns := cloneSpec(sp)
+					ns.Table[i].Sends = ns.Table[i].Sends[:len(ns.Table[i].Sends)-1]
+					if len(ns.Table[i].Sends) == 0 {
+						ns.Table[i].Sends = nil
+					}
+					out = append(out, candidate{sp: ns, in: cloneInputs(inputs)})
+				}
+				if tr.Decide != protogen.DecideNone {
+					ns := cloneSpec(sp)
+					ns.Table[i].Decide = protogen.DecideNone
+					out = append(out, candidate{sp: ns, in: cloneInputs(inputs)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// tableIndex mirrors Spec's internal layout: (phase·Regs + reg)·(Alphabet+1) + sym.
+func tableIndex(sp protogen.Spec, h, r, s int) int {
+	return (h*sp.Regs+r)*(sp.Alphabet+1) + s
+}
+
+// dropPhase removes the last phase. Transitions that pointed past the new
+// cap are clamped onto it; a clamp that lands a transition back on its own
+// phase must also drop its sends (sends without a phase advance are
+// invalid — they would unbound the message buffer).
+func dropPhase(sp protogen.Spec, inputs model.Inputs) (candidate, bool) {
+	if sp.Phases <= 1 {
+		return candidate{}, false
+	}
+	ns := cloneSpec(sp)
+	ns.Phases--
+	ns.Table = ns.Table[:ns.Phases*ns.Regs*(ns.Alphabet+1)]
+	for h := 0; h < ns.Phases; h++ {
+		for r := 0; r < ns.Regs; r++ {
+			for s := 0; s <= ns.Alphabet; s++ {
+				tr := &ns.Table[tableIndex(ns, h, r, s)]
+				if tr.Next > ns.Phases {
+					tr.Next = ns.Phases
+				}
+				if tr.Next <= h {
+					tr.Sends = nil
+				}
+			}
+		}
+	}
+	return candidate{sp: ns, in: cloneInputs(inputs)}, true
+}
+
+// dropReg removes the top register value, re-indexing the table and
+// clamping successor registers.
+func dropReg(sp protogen.Spec, inputs model.Inputs) (candidate, bool) {
+	if sp.Regs <= 1 {
+		return candidate{}, false
+	}
+	ns := cloneSpec(sp)
+	ns.Regs--
+	table := make([]protogen.Transition, ns.Phases*ns.Regs*(ns.Alphabet+1))
+	for h := 0; h < ns.Phases; h++ {
+		for r := 0; r < ns.Regs; r++ {
+			for s := 0; s <= ns.Alphabet; s++ {
+				tr := sp.Table[tableIndex(sp, h, r, s)]
+				if tr.Reg >= ns.Regs {
+					tr.Reg = ns.Regs - 1
+				}
+				table[tableIndex(ns, h, r, s)] = tr
+			}
+		}
+	}
+	ns.Table = table
+	return candidate{sp: ns, in: cloneInputs(inputs)}, true
+}
+
+// dropSym removes the top alphabet symbol, re-indexing the table (the null
+// column always stays) and clamping send symbols.
+func dropSym(sp protogen.Spec, inputs model.Inputs) (candidate, bool) {
+	if sp.Alphabet <= 1 {
+		return candidate{}, false
+	}
+	ns := cloneSpec(sp)
+	ns.Alphabet--
+	table := make([]protogen.Transition, ns.Phases*ns.Regs*(ns.Alphabet+1))
+	for h := 0; h < ns.Phases; h++ {
+		for r := 0; r < ns.Regs; r++ {
+			for s := 0; s <= ns.Alphabet; s++ {
+				tr := sp.Table[tableIndex(sp, h, r, s)]
+				tr.Sends = append([]protogen.Send(nil), tr.Sends...)
+				for j := range tr.Sends {
+					if tr.Sends[j].Sym >= ns.Alphabet {
+						tr.Sends[j].Sym = ns.Alphabet - 1
+					}
+				}
+				if len(tr.Sends) == 0 {
+					tr.Sends = nil
+				}
+				table[tableIndex(ns, h, r, s)] = tr
+			}
+		}
+	}
+	ns.Table = table
+	return candidate{sp: ns, in: cloneInputs(inputs)}, true
+}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/flpsim/flp/internal/explore"
 	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protogen"
 )
 
 // The failover suite pins the tentpole contract: killing any single worker
@@ -66,6 +67,40 @@ func TestFailoverKillEachWorkerEachLevel(t *testing.T) {
 				distC, distV, dist := killRun(t, task, workers, victim, level, failoverOptions())
 				compareStreams(t, label, seqC, seqV, seq, distC, distV, dist)
 			})
+		}
+	}
+}
+
+// TestFailoverGeneratedProtocols repeats the kill sweep over generated
+// protocols, which reach the cluster only through the gen: name
+// passthrough: each worker must rebuild the protocol from the task name
+// alone, then survive the scripted loss byte-identically. Seed 2 is a
+// complete exploration (125 configurations, 9 levels deep), seed 15 a
+// truncated one (the 300-configuration budget cuts the BFS mid-level), so
+// the sweep pins failover parity on both sides of the truncation
+// boundary. Seeds with shallower state spaces would leave high kill
+// levels unfired, which killRun treats as a test bug.
+func TestFailoverGeneratedProtocols(t *testing.T) {
+	for _, tc := range []struct {
+		seed   uint64
+		levels []int
+	}{
+		{2, []int{0, 1, 2, 3, 4}},
+		{15, []int{1, 4}},
+	} {
+		sp := protogen.Derive(tc.seed, protogen.DefaultDials(3))
+		task := Task{Protocol: sp.Name(), N: sp.N, Inputs: model.Inputs{0, 1, 1},
+			Options: explore.Options{MaxConfigs: 300}, Shards: 6, Replicas: 2}
+		seqC, seqV, seq := seqStream(t, task)
+		workers := []string{"g0", "g1", "g2"}
+		for victim := range workers {
+			for _, level := range tc.levels {
+				label := fmt.Sprintf("seed%d-kill-w%d-at-level%d", tc.seed, victim, level)
+				t.Run(label, func(t *testing.T) {
+					distC, distV, dist := killRun(t, task, workers, victim, level, failoverOptions())
+					compareStreams(t, label, seqC, seqV, seq, distC, distV, dist)
+				})
+			}
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/flpsim/flp/internal/explore"
 	"github.com/flpsim/flp/internal/model"
 	"github.com/flpsim/flp/internal/protocols"
+	"github.com/flpsim/flp/internal/protogen"
 )
 
 // The parallel engine's contract is byte-identical results for every
@@ -127,6 +128,65 @@ func TestParallelLemma3MatchesSequential(t *testing.T) {
 		}
 		if !reflect.DeepEqual(seq, par) {
 			t.Errorf("event %s: Lemma3Result diverged:\n sequential: %+v\n 8 workers:  %+v", e, seq, par)
+		}
+	}
+}
+
+// TestParallelGeneratedProtocolsMatchSequential runs the same
+// differential over generated protocols: a spread of protogen seeds per
+// template, visit streams and valency compared between Workers 1 and 8.
+// The generator reaches transition-table shapes (sparse tables, dead
+// phases, asymmetric decision rules) that no hand-written seed protocol
+// exercises, so this is where worker-count nondeterminism around unusual
+// fan-out would surface first.
+func TestParallelGeneratedProtocolsMatchSequential(t *testing.T) {
+	type step struct {
+		key   string
+		depth int
+		path  string
+	}
+	for _, tmpl := range []string{protogen.TemplateTable, protogen.TemplateBenOr} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			d := protogen.DefaultDials(3)
+			d.Template = tmpl
+			if tmpl == protogen.TemplateBenOr {
+				d.N, d.MaxRound = 2, 1
+			}
+			sp := protogen.Derive(seed, d)
+			t.Run(sp.Name(), func(t *testing.T) {
+				pr := protogen.MustNew(sp)
+				in := make(model.Inputs, sp.N)
+				for p := range in {
+					in[p] = model.Value(p & 1)
+				}
+				c := model.MustInitial(pr, in)
+				opt := explore.Options{MaxConfigs: 1500}
+				stream := func(workers int) (bool, []step) {
+					var out []step
+					complete, _ := explore.Explore(pr, c, withWorkers(opt, workers), nil,
+						func(cfg *model.Config, depth int, path func() model.Schedule) bool {
+							out = append(out, step{key: cfg.Key(), depth: depth, path: path().String()})
+							return false
+						})
+					return complete, out
+				}
+				seqComplete, seq := stream(1)
+				parComplete, par := stream(8)
+				if seqComplete != parComplete || len(seq) != len(par) {
+					t.Fatalf("stream shape diverged: sequential (%d, complete=%v), 8 workers (%d, complete=%v)",
+						len(seq), seqComplete, len(par), parComplete)
+				}
+				for i := range seq {
+					if seq[i] != par[i] {
+						t.Fatalf("visit %d diverged:\n sequential: %+v\n 8 workers:  %+v", i, seq[i], par[i])
+					}
+				}
+				seqV := explore.Classify(pr, c, withWorkers(opt, 1))
+				parV := explore.Classify(pr, c, withWorkers(opt, 8))
+				if !reflect.DeepEqual(seqV, parV) {
+					t.Errorf("ValencyInfo diverged:\n sequential: %+v\n 8 workers:  %+v", seqV, parV)
+				}
+			})
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protogen"
 )
 
 // Factory constructs a protocol instance for n processes.
@@ -48,7 +49,26 @@ var registry = map[string]Factory{
 }
 
 // Lookup returns the factory for a registered protocol name.
+//
+// Names carrying protogen's "gen:" prefix are self-describing — the whole
+// protocol spec is encoded in the name — so they resolve without being
+// registered. That is what lets generated protocols flow through every
+// name-keyed surface (the distributed engine's workers, the CLIs) exactly
+// like the hand-written ones: a remote worker rebuilds the protocol from
+// the task's name alone.
 func Lookup(name string) (Factory, bool) {
+	if protogen.IsGenerated(name) {
+		return func(n int) (model.Protocol, error) {
+			sp, err := protogen.FromName(name)
+			if err != nil {
+				return nil, err
+			}
+			if n != 0 && n != sp.N {
+				return nil, fmt.Errorf("generated protocol %q is for n = %d, got n = %d", name, sp.N, n)
+			}
+			return protogen.New(sp)
+		}, true
+	}
 	f, ok := registry[name]
 	return f, ok
 }

@@ -1,0 +1,55 @@
+package protocols_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/flpsim/flp/internal/protocols"
+	"github.com/flpsim/flp/internal/protogen"
+)
+
+// TestLookupGenerated pins the gen: passthrough: a generated protocol's
+// name alone must resolve through the registry — that is the property the
+// distributed engine's workers rely on to rebuild generated protocols.
+func TestLookupGenerated(t *testing.T) {
+	sp := protogen.Derive(42, protogen.DefaultDials(3))
+	name := sp.Name()
+
+	factory, ok := protocols.Lookup(name)
+	if !ok {
+		t.Fatalf("Lookup(%q) did not resolve", name)
+	}
+	pr, err := factory(sp.N)
+	if err != nil {
+		t.Fatalf("factory: %v", err)
+	}
+	if pr.Name() != name {
+		t.Errorf("rebuilt protocol name %q, want %q", pr.Name(), name)
+	}
+	if pr.N() != sp.N {
+		t.Errorf("rebuilt protocol N = %d, want %d", pr.N(), sp.N)
+	}
+
+	// A mismatched process count is a caller bug, not a silent resize.
+	if _, err := factory(sp.N + 1); err == nil {
+		t.Error("factory accepted a process count the spec does not carry")
+	}
+
+	// Malformed gen: names resolve to a factory (the prefix routes them)
+	// but the factory reports the decode error.
+	factory, ok = protocols.Lookup("gen:garbage")
+	if !ok {
+		t.Fatal("gen: prefix did not route to the passthrough")
+	}
+	if _, err := factory(3); err == nil {
+		t.Error("malformed gen: name built a protocol")
+	}
+
+	// Non-generated names still hit the static table only.
+	if _, ok := protocols.Lookup("no-such-protocol"); ok {
+		t.Error("unknown plain name resolved")
+	}
+	if !strings.HasPrefix(name, protogen.NamePrefix) {
+		t.Fatalf("generated name %q lacks the %q prefix", name, protogen.NamePrefix)
+	}
+}

@@ -1,0 +1,222 @@
+package protogen
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/flpsim/flp/internal/enc"
+	"github.com/flpsim/flp/internal/model"
+)
+
+// benorProto realizes a "benor" Spec: the report/propose round structure
+// of Ben-Or's randomized consensus, with three generator-chosen thresholds
+// and the shared coin drawn from a deterministic tape keyed by
+// (Seed, process, round) — so every run replays exactly and FLP's model
+// applies unchanged. Rounds are capped at MaxRound: a process that would
+// enter round MaxRound+1 halts instead, which bounds message production
+// and keeps the reachable configuration graph finite (the registry's
+// uncapped Ben-Or has an unbounded state space, which the conformance
+// harness cannot demand complete explorations of).
+//
+// Round structure (round r ≥ 1, x the current estimate):
+//
+//	phase 1: broadcast (R, r, x); await WaitNeed round-r reports.
+//	         If ≥ ProposeNeed carry the same v, propose v, else ⊥.
+//	phase 2: broadcast (P, r, proposal); await WaitNeed round-r proposals.
+//	         ≥ DecideNeed carry the same v ≠ ⊥ → decide v;
+//	         ≥ 1 carries v ≠ ⊥               → x = v;
+//	         otherwise                         x = coin(Seed, p, r).
+type benorProto struct {
+	sp   Spec
+	name string
+}
+
+const benorHalted = 3 // phase value marking a capped-out process
+
+const benorBot model.Value = 2 // ⊥ in proposal messages
+
+// voteSet maps senders to the value they reported or proposed in one
+// (kind, round) slot. Immutable: with returns a copy.
+type voteSet map[model.PID]model.Value
+
+func (v voteSet) with(p model.PID, val model.Value) voteSet {
+	nv := make(voteSet, len(v)+1)
+	for k, x := range v {
+		nv[k] = x
+	}
+	nv[p] = val
+	return nv
+}
+
+func (v voteSet) count(val model.Value) int {
+	c := 0
+	for _, x := range v {
+		if x == val {
+			c++
+		}
+	}
+	return c
+}
+
+func (v voteSet) key() string {
+	pids := make([]int, 0, len(v))
+	for p := range v {
+		pids = append(pids, int(p))
+	}
+	sort.Ints(pids)
+	var b enc.Builder
+	for _, p := range pids {
+		b.Int(p).Uint8(uint8(v[model.PID(p)]))
+	}
+	return b.String()
+}
+
+type benorState struct {
+	me    model.PID
+	x     model.Value
+	round int // 0 = not started; 1..MaxRound active
+	phase int // 1, 2, or benorHalted
+	out   model.Output
+	// inbox maps "R|r" / "P|r" to the votes received for that slot.
+	inbox map[string]voteSet
+}
+
+func (s *benorState) Key() string {
+	var b enc.Builder
+	b.Int(int(s.me)).Uint8(uint8(s.x)).Int(s.round).Int(s.phase).Uint8(uint8(s.out))
+	keys := make([]string, 0, len(s.inbox))
+	for k := range s.inbox {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.Str(k).Str(s.inbox[k].key())
+	}
+	return b.String()
+}
+
+func (s *benorState) Output() model.Output { return s.out }
+
+func (s *benorState) clone() *benorState {
+	ns := *s
+	ns.inbox = make(map[string]voteSet, len(s.inbox))
+	for k, v := range s.inbox {
+		ns.inbox[k] = v
+	}
+	return &ns
+}
+
+// Name implements model.Protocol.
+func (g *benorProto) Name() string { return g.name }
+
+// N implements model.Protocol.
+func (g *benorProto) N() int { return g.sp.N }
+
+// Init implements model.Protocol.
+func (g *benorProto) Init(p model.PID, input model.Value) model.State {
+	return &benorState{me: p, x: input, round: 0, phase: 1, inbox: map[string]voteSet{}}
+}
+
+// coin is the deterministic tape: the flip for (p, r) under this spec's
+// seed, finalized with a stateless mixer so no bit correlates with round
+// parity.
+func (g *benorProto) coin(p model.PID, r int) model.Value {
+	return model.Value(mix64(g.sp.Seed^(uint64(p)+1)*0x9e3779b97f4a7c15^(uint64(r)+1)*0xbf58476d1ce4e5b9) & 1)
+}
+
+func benorSlot(kind string, r int) string { return kind + "|" + strconv.Itoa(r) }
+
+func benorBody(kind string, r int, v model.Value) string {
+	return kind + "|" + strconv.Itoa(r) + "|" + strconv.Itoa(int(v))
+}
+
+// Step implements model.Protocol. The structure follows the registry's
+// BenOrDeterministic with the thresholds generalized and the round cap
+// added; decided processes keep participating until the cap so others can
+// finish.
+func (g *benorProto) Step(p model.PID, s model.State, m *model.Message) (model.State, []model.Message) {
+	st := s.(*benorState)
+	if st.phase == benorHalted {
+		return st, nil // capped out; deliveries are consumed silently
+	}
+	next := st.clone()
+	var sends []model.Message
+
+	// First step: enter round 1 and report.
+	if next.round == 0 {
+		next.round = 1
+		next.phase = 1
+		sends = append(sends, model.Broadcast(p, g.sp.N, benorBody("R", 1, next.x))...)
+	}
+
+	if m != nil {
+		fields := strings.SplitN(m.Body, "|", 3)
+		if len(fields) == 3 && (fields[0] == "R" || fields[0] == "P") {
+			if r, err := strconv.Atoi(fields[1]); err == nil && r >= next.round {
+				if v, err := strconv.Atoi(fields[2]); err == nil {
+					slot := benorSlot(fields[0], r)
+					next.inbox[slot] = next.inbox[slot].with(m.From, model.Value(v))
+				}
+			}
+		}
+	}
+
+	// Advance through any thresholds now met (buffered future-round traffic
+	// can complete several phases in one delivery).
+	for {
+		if next.phase == 1 {
+			reports := next.inbox[benorSlot("R", next.round)]
+			if len(reports) < g.sp.WaitNeed {
+				break
+			}
+			proposal := benorBot
+			if reports.count(model.V0) >= g.sp.ProposeNeed {
+				proposal = model.V0
+			} else if reports.count(model.V1) >= g.sp.ProposeNeed {
+				proposal = model.V1
+			}
+			next.phase = 2
+			sends = append(sends, model.Broadcast(p, g.sp.N, benorBody("P", next.round, proposal))...)
+			continue
+		}
+		props := next.inbox[benorSlot("P", next.round)]
+		if len(props) < g.sp.WaitNeed {
+			break
+		}
+		switch {
+		case props.count(model.V0) >= g.sp.DecideNeed:
+			if !next.out.Decided() {
+				next.out = model.Decided0
+			}
+			next.x = model.V0
+		case props.count(model.V1) >= g.sp.DecideNeed:
+			if !next.out.Decided() {
+				next.out = model.Decided1
+			}
+			next.x = model.V1
+		case props.count(model.V0) >= 1:
+			next.x = model.V0
+		case props.count(model.V1) >= 1:
+			next.x = model.V1
+		default:
+			next.x = g.coin(p, next.round)
+		}
+		if next.round >= g.sp.MaxRound {
+			next.phase = benorHalted
+			next.inbox = map[string]voteSet{}
+			break
+		}
+		// Next round; prune stale inbox slots to keep states small.
+		next.round++
+		next.phase = 1
+		for k := range next.inbox {
+			parts := strings.SplitN(k, "|", 2)
+			if r, err := strconv.Atoi(parts[1]); err == nil && r < next.round {
+				delete(next.inbox, k)
+			}
+		}
+		sends = append(sends, model.Broadcast(p, g.sp.N, benorBody("R", next.round, next.x))...)
+	}
+	return next, sends
+}

@@ -1,0 +1,118 @@
+package protogen
+
+// Derive maps (seed, dials) to a Spec, deterministically: the same
+// arguments produce the same Spec on every platform, Go version, and run.
+// Dials are normalized (clamped into range) first and the normalized form
+// is recorded in the Spec, so Name/FromName round-trips re-derive the
+// identical table. The result always passes Validate.
+func Derive(seed uint64, d Dials) Spec {
+	d = d.normalized()
+	r := newRNG(seed)
+	sp := Spec{
+		V:        SpecVersion,
+		Template: d.Template,
+		N:        d.N,
+		Seed:     seed,
+		Dials:    &d,
+	}
+	switch d.Template {
+	case TemplateBenOr:
+		deriveBenOr(&sp, d, r)
+	default:
+		deriveTable(&sp, d, r)
+	}
+	return sp
+}
+
+// deriveBenOr draws the three thresholds from [1, N]. Classic Ben-Or
+// (WaitNeed = N-f, ProposeNeed = ⌊N/2⌋+1, DecideNeed = f+1) is one point
+// of that space; most seeds land elsewhere, on protocols that block, decide
+// too eagerly, or violate agreement — all valid automata of the model.
+func deriveBenOr(sp *Spec, d Dials, r *rng) {
+	sp.MaxRound = d.MaxRound
+	sp.WaitNeed = 1 + r.intn(d.N)
+	sp.ProposeNeed = 1 + r.intn(d.N)
+	sp.DecideNeed = 1 + r.intn(d.N)
+}
+
+// deriveTable fills the transition table entry by entry in canonical
+// (phase, reg, symbol) order, one dependent draw sequence per entry.
+func deriveTable(sp *Spec, d Dials, r *rng) {
+	sp.Phases = d.Phases
+	sp.Regs = d.Regs
+	sp.Alphabet = d.Alphabet
+	sp.Table = make([]Transition, d.Phases*d.Regs*(d.Alphabet+1))
+	for h := 0; h < d.Phases; h++ {
+		for reg := 0; reg < d.Regs; reg++ {
+			for sym := 0; sym <= d.Alphabet; sym++ {
+				idx := sp.tableIndex(h, reg, sym)
+				if !r.pct(d.Density) {
+					// Inert: the message (if any) is consumed, nothing else
+					// changes. For null deliveries the engines skip this as a
+					// no-op.
+					sp.Table[idx] = Transition{Next: h, Reg: reg}
+					continue
+				}
+				tr := Transition{Reg: r.intn(d.Regs)}
+				if r.pct(20) {
+					// Stay in phase: register and output may change, but no
+					// sends (the finiteness invariant).
+					tr.Next = h
+				} else {
+					tr.Next = h + 1 + r.intn(d.Phases-h)
+					for k := r.intn(d.MaxSends + 1); k > 0; k-- {
+						tr.Sends = append(tr.Sends, Send{
+							Target: deriveTarget(d.N, r),
+							Sym:    r.intn(d.Alphabet),
+						})
+					}
+				}
+				if r.pct(25) {
+					tr.Decide = deriveDecision(d.DecShape, r)
+				}
+				sp.Table[idx] = tr
+			}
+		}
+	}
+}
+
+// deriveTarget picks a send target: broadcasts, relative addressing, and
+// fixed processes all occur.
+func deriveTarget(n int, r *rng) int {
+	switch v := r.intn(10); {
+	case v < 2:
+		return TargetAll
+	case v < 4:
+		return TargetOthers
+	case v < 5:
+		return TargetSelf
+	case v < 6:
+		return TargetNext
+	default:
+		return r.intn(n)
+	}
+}
+
+// deriveDecision picks an output-register action under the dial's shape
+// bias: 0 mixed, 1 input-driven, 2 constant, 3 register-driven.
+func deriveDecision(shape int, r *rng) Decision {
+	switch shape {
+	case 1:
+		return DecideInput
+	case 2:
+		return Decision(uint8(DecideZero) + uint8(r.intn(2)))
+	case 3:
+		return DecideReg
+	default:
+		switch r.intn(4) {
+		case 0:
+			return DecideZero
+		case 1:
+			return DecideOne
+		case 2:
+			return DecideInput
+		default:
+			return DecideReg
+		}
+	}
+}
