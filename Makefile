@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-short test-dist test-chaos fuzz fuzz-conformance corpus bench bench-parallel bench-valency vet
+.PHONY: all build test test-race test-short test-dist test-chaos test-serve serve fuzz fuzz-conformance corpus bench bench-parallel bench-valency bench-serve vet
 
 all: build test
 
@@ -36,6 +36,16 @@ test-chaos:
 test-short:
 	$(GO) test -short ./...
 
+# The serving layer under the race detector: job queue, drain state
+# machine, singleflight atlas cache, and the stdlib Prometheus encoder.
+test-serve:
+	$(GO) test -race -count=1 ./internal/serve ./internal/keyedcache ./internal/promtext
+	$(GO) test -race -run 'TestAtlasCache|TestTryWarmSharesBuilds' -count=1 ./internal/explore
+
+# Run exploration-as-a-service locally (ctrl-C drains gracefully).
+serve:
+	$(GO) run ./cmd/flpserve -listen 127.0.0.1:8080 -pool 4
+
 fuzz:
 	$(GO) test ./internal/model -fuzz FuzzConfigKeyHash -fuzztime 30s
 
@@ -68,6 +78,11 @@ bench-parallel:
 # budgeted BFS per configuration, and the warmed-cache read path.
 bench-valency:
 	$(GO) test -bench 'BenchmarkValencyPerConfig|BenchmarkAtlasCensus|BenchmarkAtlasWarmedCache' -benchmem -run '^$$' ./internal/explore
+
+# The serving-layer guardrail: concurrent mixed workload vs pool size,
+# p50/p99 latency and cache hit rate, written to BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/flpbench -experiment E22
 
 vet:
 	$(GO) vet ./...

@@ -23,13 +23,14 @@ import (
 
 func main() {
 	var (
-		id         = flag.String("experiment", "all", "experiment id (E1..E21) or 'all'")
+		id         = flag.String("experiment", "all", "experiment id (E1..E22) or 'all'")
 		scale      = flag.Int("scale", 1, "multiply trial counts")
 		seed       = flag.Int64("seed", 1, "base seed")
 		workers    = flag.Int("workers", 0, "exploration workers: sets GOMAXPROCS, the default worker count of every exploration (0 = leave as is)")
 		distout    = flag.String("distbench-out", "BENCH_distexplore.json", "file E19 writes its engine-comparison timings to ('' disables)")
 		valout     = flag.String("valbench-out", "BENCH_valency.json", "file E20 writes its atlas-vs-per-config timings to ('' disables)")
 		failout    = flag.String("failbench-out", "BENCH_failover.json", "file E21 writes its replication/failover timings to ('' disables)")
+		serveout   = flag.String("servebench-out", "BENCH_serve.json", "file E22 writes its serving-layer latencies to ('' disables)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -52,7 +53,7 @@ func main() {
 	}
 
 	if *id != "all" {
-		tab, err := runOne(*id, sizes, *distout, *valout, *failout)
+		tab, err := runOne(*id, sizes, *distout, *valout, *failout, *serveout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flpbench: %v\n", err)
 			os.Exit(1)
@@ -63,7 +64,7 @@ func main() {
 	start := time.Now()
 	for _, r := range experiments.Suite(sizes) {
 		t0 := time.Now()
-		tab, err := runOne(r.ID, sizes, *distout, *valout, *failout)
+		tab, err := runOne(r.ID, sizes, *distout, *valout, *failout, *serveout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flpbench: %s: %v\n", r.ID, err)
 			os.Exit(1)
@@ -109,10 +110,11 @@ func profiles(cpu, mem string) func() {
 	}
 }
 
-// runOne dispatches one experiment. E19, E20, and E21 are special-cased so
-// their machine-readable comparisons land in BENCH_distexplore.json,
-// BENCH_valency.json, and BENCH_failover.json alongside the printed tables.
-func runOne(id string, sizes experiments.Sizes, distout, valout, failout string) (*experiments.Table, error) {
+// runOne dispatches one experiment. E19-E22 are special-cased so their
+// machine-readable comparisons land in BENCH_distexplore.json,
+// BENCH_valency.json, BENCH_failover.json, and BENCH_serve.json alongside
+// the printed tables.
+func runOne(id string, sizes experiments.Sizes, distout, valout, failout, serveout string) (*experiments.Table, error) {
 	switch id {
 	case "E19":
 		tab, bench, err := experiments.E19DistExploreBench()
@@ -138,6 +140,15 @@ func runOne(id string, sizes experiments.Sizes, distout, valout, failout string)
 			return nil, err
 		}
 		if err := writeJSON(failout, bench); err != nil {
+			return nil, err
+		}
+		return tab, nil
+	case "E22":
+		tab, bench, err := experiments.E22ServeBench()
+		if err != nil {
+			return nil, err
+		}
+		if err := writeJSON(serveout, bench); err != nil {
 			return nil, err
 		}
 		return tab, nil

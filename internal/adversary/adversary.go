@@ -51,6 +51,14 @@ type Options struct {
 	// worker count: every stage commits the same event via the same
 	// schedule σ.
 	Workers int
+	// Atlases, when non-nil, is a shared atlas build cache the adversary's
+	// valency cache sources its TryWarm sweeps from: repeated adversary
+	// runs over the same (protocol, bounds, root) — and any census or
+	// valency query naming the same tuple — then cost one exploration
+	// between them. The construction is unchanged; only the sweep is
+	// amortized. This is how the serving layer shares one cache across
+	// every request.
+	Atlases *explore.AtlasCache
 }
 
 func (o Options) withDefaults() Options {
@@ -150,6 +158,9 @@ func New(pr model.Protocol, opt Options) *Adversary {
 		cache = explore.NewSmartCache(pr, opt.Valency, *opt.Probe)
 	} else {
 		cache = explore.NewCache(pr, opt.Valency)
+	}
+	if opt.Atlases != nil {
+		cache.ShareAtlasBuilds(opt.Atlases)
 	}
 	return &Adversary{pr: pr, opt: opt, cache: cache}
 }

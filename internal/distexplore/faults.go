@@ -87,6 +87,10 @@ func NewFaultyTransport(inner Transport, plan FaultPlan) *FaultyTransport {
 // handling lives.
 func (ft *FaultyTransport) Listen(addr string) (Listener, error) { return ft.inner.Listen(addr) }
 
+// InProcess implements InProcessTransport by asking the wrapped
+// transport: injecting faults does not move the bytes off-machine.
+func (ft *FaultyTransport) InProcess() bool { return transportInProcess(ft.inner) }
+
 // Dial implements Transport. Dials to a killed worker fail, exactly as
 // dials to a crashed process would.
 func (ft *FaultyTransport) Dial(addr string, timeout time.Duration) (net.Conn, error) {

@@ -71,6 +71,7 @@ func Suite(s Sizes) []Runner {
 		{"E19", E19DistExplore},
 		{"E20", E20ValencyAtlas},
 		{"E21", E21Failover},
+		{"E22", E22Serve},
 	}
 }
 

@@ -82,7 +82,7 @@ func E21FailoverBench() (*Table, *FailoverBench, error) {
 
 	// Each scenario gets a fresh cluster: a killed worker stays dead, so
 	// clusters are not reusable across scenarios.
-	runScenario := func(replicas int, plan *distexplore.FaultPlan, compress bool) (int, time.Duration, error) {
+	runScenario := func(replicas int, plan *distexplore.FaultPlan, compress, force bool) (int, time.Duration, error) {
 		var tr distexplore.Transport = distexplore.NewLoopback()
 		names := make([]string, workers)
 		for i := range names {
@@ -103,10 +103,11 @@ func E21FailoverBench() (*Table, *FailoverBench, error) {
 			addrs = append(addrs, l.Addr())
 		}
 		cl, err := distexplore.Dial(tr, addrs, distexplore.RPCOptions{
-			DialTimeout:  250 * time.Millisecond,
-			Retries:      2,
-			RetryBackoff: 2 * time.Millisecond,
-			Compress:     compress,
+			DialTimeout:   250 * time.Millisecond,
+			Retries:       2,
+			RetryBackoff:  2 * time.Millisecond,
+			Compress:      compress,
+			CompressForce: force,
 		})
 		if err != nil {
 			return 0, 0, err
@@ -126,15 +127,17 @@ func E21FailoverBench() (*Table, *FailoverBench, error) {
 		fault    string
 		plan     *distexplore.FaultPlan
 		compress bool
+		force    bool
 	}{
-		{"unreplicated baseline", 1, "none", nil, false},
-		{"replicated", 2, "none", nil, false},
-		{"replicated, compressed frames", 2, "none", nil, true},
+		{"unreplicated baseline", 1, "none", nil, false, false},
+		{"replicated", 2, "none", nil, false, false},
+		{"replicated, compress offered (adaptive declines on loopback)", 2, "none", nil, true, false},
+		{"replicated, compressed frames (forced)", 2, "none", nil, false, true},
 		{"replicated, worker killed", 2, "kill worker 1 at level 3",
-			&distexplore.FaultPlan{KillAddr: "e21-w1", KillLevel: 3}, false},
+			&distexplore.FaultPlan{KillAddr: "e21-w1", KillLevel: 3}, false, false},
 	}
 	for _, sc := range scenarios {
-		count, elapsed, err := runScenario(sc.replicas, sc.plan, sc.compress)
+		count, elapsed, err := runScenario(sc.replicas, sc.plan, sc.compress, sc.force)
 		if err != nil {
 			return nil, nil, fmt.Errorf("E21 scenario %q: %w", sc.name, err)
 		}
@@ -147,6 +150,7 @@ func E21FailoverBench() (*Table, *FailoverBench, error) {
 		})
 	}
 	t.AddNote("counts agree with the sequential engine in every scenario — replication and failover change wall time, never results")
+	t.AddNote("compression is adaptive: Compress on an in-process transport stays plain (its row should match the bare replicated row), so the forced row is the only one paying the deflate CPU cost")
 	t.AddNote("the kill scenario's elapsed time includes detecting the loss (retry + redial timeouts) and re-expanding the level on the promoted standbys")
 	return t, bench, nil
 }

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/flpsim/flp/internal/serve"
+)
+
+// E22 benchmarks the serving layer: a live flpserve instance (real HTTP
+// over a loopback listener) under N concurrent clients issuing a mixed
+// census/valency/adversary workload, swept across job-pool sizes. Because
+// every client asks overlapping questions, the shared atlas cache turns
+// most lookups into hits or singleflight merges — the hit rate column is
+// the amortization the service exists to provide. The cold-vs-warm rows
+// isolate it directly: the same census against a fresh cache and against a
+// populated one, where the warm repeat must be at least 5x faster.
+
+// ServeBenchRow is one pool size's timing under the concurrent workload;
+// serialized into BENCH_serve.json by cmd/flpbench.
+type ServeBenchRow struct {
+	Pool         int     `json:"pool"`
+	Clients      int     `json:"clients"`
+	Requests     int     `json:"requests"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	TotalMS      float64 `json:"total_ms"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// ServeBench is the machine-readable form of the E22 table.
+type ServeBench struct {
+	GOMAXPROCS   int             `json:"gomaxprocs"`
+	Clients      int             `json:"clients"`
+	Workload     string          `json:"workload"`
+	Rows         []ServeBenchRow `json:"rows"`
+	ColdCensusMS float64         `json:"cold_census_ms"`
+	WarmCensusMS float64         `json:"warm_census_ms"`
+	WarmSpeedup  float64         `json:"warm_speedup"`
+}
+
+// E22Serve is the Suite entry point (table only).
+func E22Serve() (*Table, error) {
+	t, _, err := E22ServeBench()
+	return t, err
+}
+
+// serveRequest is one workload item: an endpoint plus its JSON body.
+type serveRequest struct {
+	path string
+	body any
+}
+
+// mixedWorkload is the per-client request sequence: a full Lemma 2 census,
+// two single-root classifications, and a short Theorem 1 construction.
+// Every client issues the same sequence, so concurrent clients contend on
+// the same cache keys — the realistic serving case the cache is keyed for.
+func mixedWorkload() []serveRequest {
+	return []serveRequest{
+		{"/v1/census", serve.CensusRequest{Protocol: "naivemajority", N: 3}},
+		{"/v1/valency", serve.ValencyRequest{Protocol: "naivemajority", N: 3, Inputs: []int{0, 1, 1}}},
+		{"/v1/valency", serve.ValencyRequest{Protocol: "2pc", N: 3, Inputs: []int{1, 1, 1}}},
+		{"/v1/adversary", serve.AdversaryRequest{Protocol: "paxos", N: 3, Stages: 3}},
+	}
+}
+
+// postWait issues one blocking (?wait=1) query and returns its latency.
+// The job must finish in state "done" — the bench measures a healthy
+// server, not error paths.
+func postWait(base string, req serveRequest) (time.Duration, error) {
+	body, err := json.Marshal(req.body)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	resp, err := http.Post(base+req.path+"?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var view struct {
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK || view.State != "done" {
+		return 0, fmt.Errorf("%s: status %d, state %q, error %q", req.path, resp.StatusCode, view.State, view.Error)
+	}
+	return elapsed, nil
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of sorted durations.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted))*q+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// E22ServeBench runs the serving-layer benchmark and returns both the
+// printable table and the JSON-serializable result.
+func E22ServeBench() (*Table, *ServeBench, error) {
+	const clients = 8
+	pools := []int{1, 2, 4, 8}
+	workload := mixedWorkload()
+
+	t := &Table{
+		ID: "E22",
+		Title: fmt.Sprintf("Exploration as a service: %d concurrent clients, mixed census/valency/adversary workload vs job-pool size",
+			clients),
+		Columns: []string{"pool", "clients", "requests", "p50", "p99", "total", "cache hit rate"},
+	}
+	bench := &ServeBench{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Clients:    clients,
+		Workload:   "census naivemajority/3, valency naivemajority/3 + 2pc/3, adversary paxos/3 (3 stages), per client",
+	}
+
+	for _, pool := range pools {
+		s := serve.New(serve.Options{Workers: pool, QueueDepth: clients * len(workload)})
+		hs := httptest.NewServer(s.Handler())
+
+		latencies := make([]time.Duration, 0, clients*len(workload))
+		var (
+			mu       sync.Mutex
+			wg       sync.WaitGroup
+			firstErr error
+		)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, req := range workload {
+					d, err := postWait(hs.URL, req)
+					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = err
+					}
+					latencies = append(latencies, d)
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		total := time.Since(start)
+		hits, misses, merged := s.AtlasCache().Stats()
+		s.Drain()
+		hs.Close()
+		if firstErr != nil {
+			return nil, nil, fmt.Errorf("E22 pool %d: %w", pool, firstErr)
+		}
+
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		p50 := percentile(latencies, 0.50)
+		p99 := percentile(latencies, 0.99)
+		hitRate := 0.0
+		if lookups := hits + misses + merged; lookups > 0 {
+			hitRate = float64(hits+merged) / float64(lookups)
+		}
+		t.AddRow(pool, clients, len(latencies),
+			p50.Round(time.Millisecond), p99.Round(time.Millisecond),
+			total.Round(time.Millisecond), fmt.Sprintf("%.0f%%", hitRate*100))
+		bench.Rows = append(bench.Rows, ServeBenchRow{
+			Pool: pool, Clients: clients, Requests: len(latencies),
+			P50MS: ms(p50), P99MS: ms(p99), TotalMS: ms(total),
+			CacheHitRate: hitRate,
+		})
+	}
+
+	// Cold vs warm: the same census against a fresh cache, then against
+	// the cache that census just populated. The delta is pure BuildAtlas
+	// cost — the warm path re-serves eight memoized classifications.
+	s := serve.New(serve.Options{Workers: 2})
+	hs := httptest.NewServer(s.Handler())
+	census := serveRequest{"/v1/census", serve.CensusRequest{Protocol: "naivemajority", N: 3}}
+	cold, err := postWait(hs.URL, census)
+	if err == nil {
+		var warm time.Duration
+		warm, err = postWait(hs.URL, census)
+		if err == nil {
+			bench.ColdCensusMS = ms(cold)
+			bench.WarmCensusMS = ms(warm)
+			if warm > 0 {
+				bench.WarmSpeedup = float64(cold) / float64(warm)
+			}
+			t.AddNote("cold census %v vs warm repeat %v: %.0fx faster once the atlas cache holds all eight roots",
+				cold.Round(time.Millisecond), warm.Round(100*time.Microsecond), bench.WarmSpeedup)
+		}
+	}
+	s.Drain()
+	hs.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("E22 cold/warm: %w", err)
+	}
+
+	t.AddNote("every request blocks (?wait=1) and must return state done; answers are byte-identical to the CLI engines at every pool size")
+	t.AddNote("cache hit rate counts singleflight merges as hits: with %d clients asking the same questions, one BuildAtlas serves all of them", clients)
+	return t, bench, nil
+}

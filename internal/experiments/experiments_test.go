@@ -489,8 +489,8 @@ func TestE21FailoverShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 4 || len(bench.Rows) != 4 {
-		t.Fatalf("E21 has %d table rows / %d bench rows, want 4/4", len(tab.Rows), len(bench.Rows))
+	if len(tab.Rows) != 5 || len(bench.Rows) != 5 {
+		t.Fatalf("E21 has %d table rows / %d bench rows, want 5/5", len(tab.Rows), len(bench.Rows))
 	}
 	sawKill := false
 	for i, r := range bench.Rows {
@@ -518,11 +518,43 @@ func TestE21FailoverShape(t *testing.T) {
 	}
 }
 
+func TestE22ServeShape(t *testing.T) {
+	tab, bench, err := experiments.E22ServeBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 || len(bench.Rows) != 4 {
+		t.Fatalf("E22 has %d table rows / %d bench rows, want 4/4", len(tab.Rows), len(bench.Rows))
+	}
+	for i, r := range bench.Rows {
+		// Correctness and accounting only — latencies are machine-dependent.
+		// E22ServeBench itself fails if any request returns a non-done job.
+		if want := bench.Clients * 4; r.Requests != want {
+			t.Errorf("row %d (pool %d): %d requests completed, want %d", i, r.Pool, r.Requests, want)
+		}
+		if r.P99MS < r.P50MS {
+			t.Errorf("row %d (pool %d): p99 %.2fms below p50 %.2fms", i, r.Pool, r.P99MS, r.P50MS)
+		}
+		// Concurrent identical queries must amortize: with 8 clients asking
+		// the same questions, most atlas lookups are hits or merges.
+		if r.CacheHitRate <= 0.5 {
+			t.Errorf("row %d (pool %d): cache hit rate %.2f, want > 0.5", i, r.Pool, r.CacheHitRate)
+		}
+	}
+	// The warm repeat re-serves memoized classifications; it must beat the
+	// cold census outright. The 5x acceptance ratio is asserted on the
+	// flpbench artifact, not here (CI machines are too noisy to gate on).
+	if bench.WarmSpeedup <= 1 {
+		t.Errorf("warm census speedup %.1fx, want > 1x (cold %.2fms, warm %.2fms)",
+			bench.WarmSpeedup, bench.ColdCensusMS, bench.WarmCensusMS)
+	}
+}
+
 func TestSuiteAndRunByID(t *testing.T) {
 	s := experiments.DefaultSizes()
 	suite := experiments.Suite(s)
-	if len(suite) != 21 {
-		t.Fatalf("suite has %d experiments, want 21", len(suite))
+	if len(suite) != 22 {
+		t.Fatalf("suite has %d experiments, want 22", len(suite))
 	}
 	ids := map[string]bool{}
 	for _, r := range suite {

@@ -63,7 +63,7 @@ func CensusInitial(pr model.Protocol, opt Options) (InitialCensus, error) {
 		if err != nil {
 			return census, err
 		}
-		info := classifyRoot(pr, c, opt)
+		info := ClassifyRoot(pr, c, opt)
 		iv := InitialValency{Inputs: in, Info: info}
 		census.PerInput = append(census.PerInput, iv)
 		census.Counts[info.Valency]++
@@ -79,12 +79,27 @@ func CensusInitial(pr model.Protocol, opt Options) (InitialCensus, error) {
 	return census, nil
 }
 
-// classifyRoot classifies one census root: from a valency atlas over its
-// reachable set when the budget allows — exact for all four classes, with
-// shortest witnesses for both decision values — and by budgeted
-// per-configuration Classify otherwise.
-func classifyRoot(pr model.Protocol, c *model.Config, opt Options) ValencyInfo {
+// ClassifyRoot classifies one exploration root: from a valency atlas over
+// its reachable set when the budget allows — exact for all four classes,
+// with shortest witnesses for both decision values — and by budgeted
+// per-configuration Classify otherwise. This is the per-root engine
+// behind CensusInitial; the serving layer calls it (via
+// ClassifyRootCached) so served classifications are identical to the
+// CLI's.
+func ClassifyRoot(pr model.Protocol, c *model.Config, opt Options) ValencyInfo {
 	if atlas, ok := BuildAtlas(pr, c, opt); ok {
+		return atlas.InfoAt(0)
+	}
+	return Classify(pr, c, opt)
+}
+
+// ClassifyRootCached is ClassifyRoot sourcing its atlas from ac: the
+// first call for a (protocol, bounds, root) tuple pays the build, every
+// later call — concurrent or not — reads the shared atlas. Results are
+// identical to ClassifyRoot's, both paths being deterministic; only the
+// cost changes.
+func ClassifyRootCached(pr model.Protocol, c *model.Config, opt Options, ac *AtlasCache) ValencyInfo {
+	if atlas, ok := ac.Get(pr, c, opt); ok {
 		return atlas.InfoAt(0)
 	}
 	return Classify(pr, c, opt)

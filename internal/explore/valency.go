@@ -172,9 +172,13 @@ type Cache struct {
 	// atomically.
 	atlases atomic.Pointer[[]*Atlas]
 	warmMu  sync.Mutex
-	// warmFailed remembers roots whose atlas build exceeded the budget, so
-	// TryWarm does not re-pay the failed sweep on every call.
-	warmFailed map[uint64]bool
+	// builds is where TryWarm sources atlases from: a keyed,
+	// singleflight-deduplicated build cache that also memoizes refusals,
+	// so a root whose sweep exceeds the budget is probed once. Private by
+	// default; ShareAtlasBuilds swaps in a process-wide cache so several
+	// valency caches (the serving layer's per-request ones) amortize one
+	// exploration.
+	builds *AtlasCache
 }
 
 type cacheShard struct {
@@ -188,12 +192,18 @@ type cacheEntry struct {
 }
 
 func newCache(pr model.Protocol, opt Options, probe *ProbeOptions) *Cache {
-	vc := &Cache{pr: pr, opt: opt.withDefaults(), probe: probe}
+	vc := &Cache{pr: pr, opt: opt.withDefaults(), probe: probe, builds: NewAtlasCache()}
 	for i := range vc.shards {
 		vc.shards[i].entries = make(map[uint64][]cacheEntry)
 	}
 	return vc
 }
+
+// ShareAtlasBuilds makes vc source its TryWarm atlas builds from ac
+// instead of its private build cache, so atlases (and memoized refusals)
+// are shared with every other consumer of ac. Call before the cache is
+// used concurrently.
+func (vc *Cache) ShareAtlasBuilds(ac *AtlasCache) { vc.builds = ac }
 
 // NewCache returns a valency cache for pr with a fixed exploration budget.
 func NewCache(pr model.Protocol, opt Options) *Cache {
@@ -296,36 +306,45 @@ func (vc *Cache) Covers(c *model.Config) bool {
 }
 
 // TryWarm ensures the cache is backed by an atlas covering root: an
-// already-covered root returns immediately, otherwise an atlas is built
-// with the cache's own options and attached. A root whose reachable set
-// exceeds the budget is remembered, so repeated calls do not re-pay the
-// failed sweep; the cache then keeps classifying per configuration, which
-// is the correct fallback for unbounded state spaces. It reports whether
-// the cache now covers root. Safe for concurrent use (two concurrent
-// first calls may both build; both atlases are attached, answers agree).
+// already-covered root returns immediately, otherwise an atlas is
+// obtained from the build cache — built with the cache's own options on
+// first use, answered from memory (or another consumer's in-flight
+// build, singleflight) afterwards — and attached. A root whose reachable
+// set exceeds the budget is remembered by the build cache, so repeated
+// calls do not re-pay the failed sweep; the cache then keeps classifying
+// per configuration, which is the correct fallback for unbounded state
+// spaces. It reports whether the cache now covers root. Safe for
+// concurrent use: concurrent first calls share one build and the atlas
+// is attached once.
 func (vc *Cache) TryWarm(root *model.Config) bool {
 	if vc.Covers(root) {
 		return true
 	}
-	h := root.Hash()
-	vc.warmMu.Lock()
-	failed := vc.warmFailed[h]
-	vc.warmMu.Unlock()
-	if failed {
-		return false
-	}
-	atlas, ok := BuildAtlas(vc.pr, root, vc.opt)
+	atlas, ok := vc.builds.Get(vc.pr, root, vc.opt)
 	if !ok {
-		vc.warmMu.Lock()
-		if vc.warmFailed == nil {
-			vc.warmFailed = make(map[uint64]bool)
-		}
-		vc.warmFailed[h] = true
-		vc.warmMu.Unlock()
 		return false
 	}
-	vc.Warm(atlas)
+	vc.warmOnce(atlas)
 	return true
+}
+
+// warmOnce attaches atlas unless that very atlas is already attached —
+// the TryWarm path hands out one shared *Atlas per key, so pointer
+// identity is the dedup.
+func (vc *Cache) warmOnce(atlas *Atlas) {
+	vc.warmMu.Lock()
+	defer vc.warmMu.Unlock()
+	var next []*Atlas
+	if cur := vc.atlases.Load(); cur != nil {
+		for _, a := range *cur {
+			if a == atlas {
+				return
+			}
+		}
+		next = append(next, *cur...)
+	}
+	next = append(next, atlas)
+	vc.atlases.Store(&next)
 }
 
 // Stats returns cache hit/miss counters. Safe for concurrent use.

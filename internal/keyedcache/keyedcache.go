@@ -1,0 +1,124 @@
+// Package keyedcache provides a generic keyed result cache with
+// singleflight build semantics: the first request for a key runs the
+// build function, every concurrent request for the same key waits for
+// that one build instead of starting its own, and later requests are
+// answered from memory. N identical queries therefore cost exactly one
+// build — the property the serving layer's shared atlas cache and the
+// valency cache's TryWarm path are built on.
+//
+// Build results are memoized whether they succeed or fail: a build error
+// is remembered and returned to every later caller for the same key, so
+// an expensive build that is known to fail (an atlas refusal, say) is
+// paid once. Callers that want failures retried use Forget.
+package keyedcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache memoizes values of type V by string key. The zero value is not
+// usable; construct with New. Safe for concurrent use.
+type Cache[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*entry[V]
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	merged atomic.Int64
+}
+
+// entry is one key's slot. done is closed when the build finishes; val
+// and err are immutable after that.
+type entry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// New returns an empty cache.
+func New[V any]() *Cache[V] {
+	return &Cache[V]{entries: make(map[string]*entry[V])}
+}
+
+// Do returns the value for key, running build to produce it on first
+// use. Exactly one build runs per key regardless of concurrency: callers
+// that arrive while a build is in flight block until it completes and
+// share its result. The reported hit is true when this call did not run
+// build itself — a memory hit or a merged in-flight wait.
+//
+// A panicking build is converted into a memoized error, so waiters are
+// released and later callers see the failure instead of deadlocking;
+// the panic is then re-raised in the building goroutine.
+func (c *Cache[V]) Do(key string, build func() (V, error)) (val V, err error, hit bool) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			c.hits.Add(1)
+		default:
+			c.merged.Add(1)
+			<-e.done
+		}
+		return e.val, e.err, true
+	}
+	e := &entry[V]{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	finished := false
+	defer func() {
+		if !finished { // build panicked: memoize a failure and re-raise
+			e.err = fmt.Errorf("keyedcache: build for %q panicked", key)
+			close(e.done)
+		}
+	}()
+	e.val, e.err = build()
+	finished = true
+	close(e.done)
+	return e.val, e.err, false
+}
+
+// Get returns the memoized value for key without building. ok is false
+// when the key is absent or its build is still in flight.
+func (c *Cache[V]) Get(key string) (val V, err error, ok bool) {
+	c.mu.Lock()
+	e, present := c.entries[key]
+	c.mu.Unlock()
+	if !present {
+		var zero V
+		return zero, nil, false
+	}
+	select {
+	case <-e.done:
+		return e.val, e.err, true
+	default:
+		var zero V
+		return zero, nil, false
+	}
+}
+
+// Forget drops key's memoized result (or in-flight slot — waiters on the
+// old build still complete against it). The next Do for key builds anew.
+func (c *Cache[V]) Forget(key string) {
+	c.mu.Lock()
+	delete(c.entries, key)
+	c.mu.Unlock()
+}
+
+// Len returns the number of keys held, including builds in flight.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns cumulative counters: hits answered from memory, misses
+// that ran a build, and merged calls that waited on another caller's
+// in-flight build. hits+merged is the number of builds saved.
+func (c *Cache[V]) Stats() (hits, misses, merged int64) {
+	return c.hits.Load(), c.misses.Load(), c.merged.Load()
+}

@@ -1,0 +1,140 @@
+package keyedcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSingleflight pins the core contract: N concurrent Do calls for one
+// key run the build exactly once and all observe its result.
+func TestSingleflight(t *testing.T) {
+	c := New[int]()
+	var builds atomic.Int64
+	gate := make(chan struct{})
+
+	const N = 32
+	var wg sync.WaitGroup
+	results := make([]int, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, _ := c.Do("k", func() (int, error) {
+				builds.Add(1)
+				<-gate // hold the build open so every caller piles up on it
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("%d concurrent calls ran %d builds, want 1", N, got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("caller %d saw %d, want 42", i, v)
+		}
+	}
+	hits, misses, merged := c.Stats()
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1", misses)
+	}
+	if hits+merged != N-1 {
+		t.Errorf("hits+merged = %d, want %d", hits+merged, N-1)
+	}
+}
+
+// TestDistinctKeys pins that keys are independent: each distinct key runs
+// its own build and the values never cross.
+func TestDistinctKeys(t *testing.T) {
+	c := New[string]()
+	var builds atomic.Int64
+	for round := 0; round < 3; round++ { // later rounds are pure hits
+		for i := 0; i < 5; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			v, err, hit := c.Do(key, func() (string, error) {
+				builds.Add(1)
+				return "value-" + key, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != "value-"+key {
+				t.Fatalf("key %q resolved to %q", key, v)
+			}
+			if wantHit := round > 0; hit != wantHit {
+				t.Fatalf("round %d key %q: hit = %v, want %v", round, key, hit, wantHit)
+			}
+		}
+	}
+	if got := builds.Load(); got != 5 {
+		t.Fatalf("ran %d builds for 5 distinct keys, want 5", got)
+	}
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", c.Len())
+	}
+}
+
+// TestErrorMemoized pins that failed builds are remembered — the point of
+// memoizing atlas refusals — and that Forget clears the way for a retry.
+func TestErrorMemoized(t *testing.T) {
+	c := New[int]()
+	boom := errors.New("boom")
+	var builds atomic.Int64
+	build := func() (int, error) { builds.Add(1); return 0, boom }
+
+	if _, err, hit := c.Do("k", build); err != boom || hit {
+		t.Fatalf("first Do: err=%v hit=%v, want boom/false", err, hit)
+	}
+	if _, err, hit := c.Do("k", build); err != boom || !hit {
+		t.Fatalf("second Do: err=%v hit=%v, want memoized boom/true", err, hit)
+	}
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("failed build ran %d times, want 1 (memoized)", got)
+	}
+
+	c.Forget("k")
+	if _, err, _ := c.Do("k", func() (int, error) { return 7, nil }); err != nil {
+		t.Fatalf("Do after Forget: %v", err)
+	}
+	if v, err, ok := c.Get("k"); !ok || err != nil || v != 7 {
+		t.Fatalf("Get after retry = (%d, %v, %v), want (7, nil, true)", v, err, ok)
+	}
+}
+
+// TestPanicReleasesWaiters pins that a panicking build does not strand
+// concurrent waiters: they observe a memoized error instead of hanging.
+func TestPanicReleasesWaiters(t *testing.T) {
+	c := New[int]()
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		defer func() { recover() }() // the panic re-raises in the builder
+		c.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			panic("kaboom")
+		})
+	}()
+
+	<-started
+	errc := make(chan error, 1)
+	go func() {
+		_, err, _ := c.Do("k", func() (int, error) { return 0, nil })
+		errc <- err
+	}()
+	close(release)
+	if err := <-errc; err == nil {
+		t.Fatal("waiter on a panicked build got a nil error")
+	}
+}

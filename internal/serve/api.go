@@ -1,0 +1,413 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/flpsim/flp/internal/adversary"
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+)
+
+// API layer: request schemas, their translation onto the exploration
+// engines, and the HTTP handlers. The engine calls are exactly the ones
+// the CLIs make — census mirrors explore.CensusInitial's loop through
+// ClassifyRootCached, valency is ClassifyRootCached on one root, the
+// adversary is adversary.New(...).Run() with flpcheck's unbounded-protocol
+// probe configuration — so a served answer is byte-identical to the
+// corresponding command-line run; the shared atlas cache changes only what
+// it costs.
+
+// CensusRequest asks for a Lemma 2 initial-valency census: every 2^N input
+// assignment classified.
+type CensusRequest struct {
+	Protocol string `json:"protocol"`
+	N        int    `json:"n"`
+	// Budget bounds each root's exploration (MaxConfigs); 0 means the
+	// engine default.
+	Budget int `json:"budget,omitempty"`
+	// Depth bounds schedule depth (MaxDepth); 0 means unlimited.
+	Depth int `json:"depth,omitempty"`
+	// Workers sets per-exploration parallelism. Results are identical at
+	// any value (the engines' byte-identity contract); only latency moves.
+	Workers int `json:"workers,omitempty"`
+}
+
+// CensusRow is one input assignment's classification.
+type CensusRow struct {
+	Inputs  string `json:"inputs"`
+	Valency string `json:"valency"`
+	Exact   bool   `json:"exact"`
+	Visited int    `json:"visited"`
+}
+
+// CensusResult is the census answer.
+type CensusResult struct {
+	Protocol string         `json:"protocol"`
+	N        int            `json:"n"`
+	PerInput []CensusRow    `json:"per_input"`
+	Counts   map[string]int `json:"counts"`
+	Bivalent string         `json:"bivalent,omitempty"` // first bivalent inputs, if any
+	AllExact bool           `json:"all_exact"`
+}
+
+// ValencyRequest asks for one root's classification.
+type ValencyRequest struct {
+	Protocol string `json:"protocol"`
+	N        int    `json:"n"`
+	// Inputs is the initial input assignment, one 0/1 per process.
+	Inputs  []int `json:"inputs"`
+	Budget  int   `json:"budget,omitempty"`
+	Depth   int   `json:"depth,omitempty"`
+	Workers int   `json:"workers,omitempty"`
+}
+
+// ValencyResult is the classification answer, witnesses included.
+type ValencyResult struct {
+	Protocol string `json:"protocol"`
+	Inputs   string `json:"inputs"`
+	Valency  string `json:"valency"`
+	Exact    bool   `json:"exact"`
+	Visited  int    `json:"visited"`
+	Complete bool   `json:"complete"`
+	Witness0 string `json:"witness0,omitempty"`
+	Witness1 string `json:"witness1,omitempty"`
+}
+
+// AdversaryRequest asks for a Theorem 1 non-deciding run construction.
+type AdversaryRequest struct {
+	Protocol string `json:"protocol"`
+	N        int    `json:"n"`
+	// Stages is how many queue services to run; 0 means the adversary
+	// default (30).
+	Stages int `json:"stages,omitempty"`
+	// Inputs, when present, names the starting assignment (which must be
+	// bivalent); otherwise the first bivalent initial configuration is
+	// located per Lemma 2.
+	Inputs  []int `json:"inputs,omitempty"`
+	Workers int   `json:"workers,omitempty"`
+}
+
+// AdversaryResult is the constructed run, independently verified.
+type AdversaryResult struct {
+	Protocol           string      `json:"protocol"`
+	Inputs             string      `json:"inputs"`
+	Stages             int         `json:"stages"`
+	Steps              int         `json:"steps"`
+	DecidedCount       int         `json:"decided_count"`
+	MinStepsPerProcess int         `json:"min_steps_per_process"`
+	Rotations          int         `json:"rotations"`
+	StepsPerProcess    map[int]int `json:"steps_per_process"`
+	Verified           bool        `json:"verified"`
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// resolveProtocol looks a protocol up exactly as the CLIs do — registry
+// names plus self-describing gen: names.
+func resolveProtocol(name string, n int) (model.Protocol, error) {
+	factory, ok := protocols.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+	return factory(n)
+}
+
+// unboundedProtocol mirrors the CLIs' special-casing of protocols whose
+// reachable sets are unbounded: valency there needs directed probes, not
+// exhaustive sweeps.
+func unboundedProtocol(name string) bool { return name == "paxos" || name == "benor" }
+
+// parseInputs converts a JSON input vector to the model's type.
+func parseInputs(raw []int, n int) (model.Inputs, error) {
+	if len(raw) != n {
+		return nil, fmt.Errorf("inputs has %d values, want n=%d", len(raw), n)
+	}
+	in := make(model.Inputs, n)
+	for i, v := range raw {
+		switch v {
+		case 0:
+			in[i] = model.V0
+		case 1:
+			in[i] = model.V1
+		default:
+			return nil, fmt.Errorf("inputs[%d] = %d is not 0 or 1", i, v)
+		}
+	}
+	return in, nil
+}
+
+// censusJob builds the job body for a census request: CensusInitial's
+// per-root loop, with each root classified through the shared atlas cache.
+func (s *Server) censusJob(req CensusRequest) jobFunc {
+	return func(pub func(string), canceled func() bool) (any, error) {
+		pr, err := resolveProtocol(req.Protocol, req.N)
+		if err != nil {
+			return nil, err
+		}
+		opt := explore.Options{MaxConfigs: req.Budget, MaxDepth: req.Depth, Workers: req.Workers}
+		res := &CensusResult{
+			Protocol: pr.Name(), N: pr.N(),
+			Counts: make(map[string]int), AllExact: true,
+		}
+		for _, in := range model.AllInputs(pr.N()) {
+			if canceled() {
+				return nil, errCanceled
+			}
+			c, err := model.Initial(pr, in)
+			if err != nil {
+				return nil, err
+			}
+			info := explore.ClassifyRootCached(pr, c, opt, s.atlases)
+			res.PerInput = append(res.PerInput, CensusRow{
+				Inputs: in.String(), Valency: info.Valency.String(),
+				Exact: info.Exact, Visited: info.Visited,
+			})
+			res.Counts[info.Valency.String()]++
+			if !info.Exact {
+				res.AllExact = false
+			}
+			if info.Valency == explore.Bivalent && res.Bivalent == "" {
+				res.Bivalent = in.String()
+			}
+			pub(fmt.Sprintf("inputs %s: %s (%d configurations)", in, info.Valency, info.Visited))
+		}
+		return res, nil
+	}
+}
+
+// valencyJob builds the job body for a single-root classification.
+func (s *Server) valencyJob(req ValencyRequest) jobFunc {
+	return func(pub func(string), canceled func() bool) (any, error) {
+		pr, err := resolveProtocol(req.Protocol, req.N)
+		if err != nil {
+			return nil, err
+		}
+		in, err := parseInputs(req.Inputs, pr.N())
+		if err != nil {
+			return nil, err
+		}
+		c, err := model.Initial(pr, in)
+		if err != nil {
+			return nil, err
+		}
+		opt := explore.Options{MaxConfigs: req.Budget, MaxDepth: req.Depth, Workers: req.Workers}
+		pub(fmt.Sprintf("classifying %s root %s", pr.Name(), in))
+		info := explore.ClassifyRootCached(pr, c, opt, s.atlases)
+		res := &ValencyResult{
+			Protocol: pr.Name(), Inputs: in.String(),
+			Valency: info.Valency.String(), Exact: info.Exact,
+			Visited: info.Visited, Complete: info.Complete,
+		}
+		if len(info.Witness0) > 0 {
+			res.Witness0 = info.Witness0.String()
+		}
+		if len(info.Witness1) > 0 {
+			res.Witness1 = info.Witness1.String()
+		}
+		return res, nil
+	}
+}
+
+// adversaryJob builds the job body for a Theorem 1 construction. For
+// progress, the run is produced in one-rotation chunks through
+// adversary.Extend — documented to yield exactly what an uninterrupted
+// longer run would — so the final result is byte-identical to a single
+// Run with the full stage count, and a drain can cut the construction
+// short at a rotation boundary.
+func (s *Server) adversaryJob(req AdversaryRequest) jobFunc {
+	return func(pub func(string), canceled func() bool) (any, error) {
+		pr, err := resolveProtocol(req.Protocol, req.N)
+		if err != nil {
+			return nil, err
+		}
+		stages := req.Stages
+		if stages <= 0 {
+			stages = 30
+		}
+		opt := adversary.Options{Workers: req.Workers, Atlases: s.atlases}
+		if unboundedProtocol(req.Protocol) {
+			// flpcheck's configuration for unbounded state spaces.
+			probe := explore.ProbeOptions{}
+			opt.Probe = &probe
+			opt.Valency = explore.Options{MaxConfigs: 1500}
+			opt.Search = explore.Options{MaxConfigs: 2000}
+		}
+		chunk := pr.N() // one full queue rotation per chunk
+		if chunk > stages {
+			chunk = stages
+		}
+		opt.Stages = chunk
+		adv := adversary.New(pr, opt)
+
+		var res *adversary.Result
+		if len(req.Inputs) > 0 {
+			in, err := parseInputs(req.Inputs, pr.N())
+			if err != nil {
+				return nil, err
+			}
+			res, err = adv.RunFromInputs(in)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			res, err = adv.Run()
+			if err != nil {
+				return nil, err
+			}
+		}
+		pub(fmt.Sprintf("bivalent initial configuration %s; %d/%d stages", res.Inputs, len(res.Stages), stages))
+		for len(res.Stages) < stages {
+			if canceled() {
+				pub(fmt.Sprintf("drain: stopping after %d stages", len(res.Stages)))
+				break
+			}
+			next := stages - len(res.Stages)
+			if next > chunk {
+				next = chunk
+			}
+			if res, err = adv.Extend(res, next); err != nil {
+				return nil, err
+			}
+			pub(fmt.Sprintf("%d/%d stages, %d steps, final configuration bivalent", len(res.Stages), stages, res.Steps()))
+		}
+
+		rep, err := adversary.Verify(pr, res)
+		if err != nil {
+			return nil, fmt.Errorf("verification failed: %w", err)
+		}
+		spp := make(map[int]int, len(rep.StepsPerProcess))
+		for p, k := range rep.StepsPerProcess {
+			spp[int(p)] = k
+		}
+		return &AdversaryResult{
+			Protocol: res.Protocol, Inputs: res.Inputs.String(),
+			Stages: rep.Stages, Steps: rep.Steps, DecidedCount: rep.DecidedCount,
+			MinStepsPerProcess: rep.MinStepsPerProcess, Rotations: rep.Rotations,
+			StepsPerProcess: spp, Verified: true,
+		}, nil
+	}
+}
+
+// ---- HTTP handlers ----
+
+// writeJSON writes v with the given status and counts the request.
+func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, code int, v any) {
+	s.m.httpTotal.With(endpoint, strconv.Itoa(code)).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// submit decodes a request body, admits the job, and answers 202 with the
+// job's initial view — or 503 + Retry-After when draining or full.
+func submit[R any](s *Server, w http.ResponseWriter, r *http.Request, endpoint string, kind JobKind, mk func(R) jobFunc) {
+	var req R
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeJSON(w, endpoint, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	j, err := s.queue.Submit(kind, mk(req))
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, endpoint, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+		}
+		s.writeJSON(w, endpoint, http.StatusOK, j.View())
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	s.writeJSON(w, endpoint, http.StatusAccepted, j.View())
+}
+
+func (s *Server) handleCensus(w http.ResponseWriter, r *http.Request) {
+	submit(s, w, r, "census", KindCensus, s.censusJob)
+}
+
+func (s *Server) handleValency(w http.ResponseWriter, r *http.Request) {
+	submit(s, w, r, "valency", KindValency, s.valencyJob)
+}
+
+func (s *Server) handleAdversary(w http.ResponseWriter, r *http.Request) {
+	submit(s, w, r, "adversary", KindAdversary, s.adversaryJob)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		s.writeJSON(w, "jobs", http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+		}
+	}
+	s.writeJSON(w, "jobs", http.StatusOK, j.View())
+}
+
+// handleJobEvents streams a job's progress as NDJSON (one JSON event per
+// line, flushed as produced): full replay first, then follow until the job
+// is terminal or the client goes away. The final line is the job view.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		s.writeJSON(w, "events", http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	s.m.httpTotal.With("events", "200").Inc()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		evs, changed, terminal := j.EventsSince(next)
+		for _, e := range evs {
+			enc.Encode(e)
+		}
+		next += len(evs)
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		if terminal {
+			enc.Encode(j.View())
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleProtocols(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, "protocols", http.StatusOK, map[string]any{
+		"protocols": protocols.Names(),
+		"generated": "names with the gen: prefix are self-describing and resolve without registration",
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, "healthz", http.StatusOK, map[string]any{
+		"status":   "ok",
+		"draining": s.queue.Draining(),
+	})
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bufio"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestGracefulDrain drives the full drain state machine over live HTTP:
+// an in-flight job completes with its result intact, a queued job reports
+// canceled, new submissions are refused with 503 + Retry-After the moment
+// the drain begins, and /metrics stays scrapeable until (and after) the
+// drain returns.
+func TestGracefulDrain(t *testing.T) {
+	s, hs := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
+
+	// One controlled in-flight job occupying the single pool worker, and
+	// one job stuck behind it in the queue.
+	release := make(chan struct{})
+	running, err := s.queue.Submit(KindCensus, func(pub func(string), _ func() bool) (any, error) {
+		pub("working")
+		<-release
+		return map[string]string{"outcome": "finished during drain"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.queue.Submit(KindValency, func(func(string), func() bool) (any, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job to start", func() bool { return running.State() == StateRunning })
+
+	drained := make(chan struct{})
+	go func() { s.Drain(); close(drained) }()
+	waitFor(t, "drain to begin", func() bool { return s.Draining() })
+
+	// New submissions: refused immediately, not queued.
+	resp := postJSON(t, hs.URL+"/v1/census", CensusRequest{Protocol: "naivemajority", N: 3}, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submission during drain: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("submission during drain: no Retry-After header")
+	}
+
+	// Health reports the drain; metrics still scrape mid-drain.
+	var health struct {
+		Draining bool `json:"draining"`
+	}
+	getJSON(t, hs.URL+"/healthz", &health)
+	if !health.Draining {
+		t.Fatal("healthz does not report draining")
+	}
+	if resp := getJSON(t, hs.URL+"/metrics", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics mid-drain: status %d", resp.StatusCode)
+	}
+
+	// Drain must be blocked on the in-flight job.
+	select {
+	case <-drained:
+		t.Fatal("drain returned while a job was still running")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not return after the in-flight job finished")
+	}
+
+	// The in-flight job completed; the queued one reports canceled.
+	var view struct {
+		State  JobState          `json:"state"`
+		Result map[string]string `json:"result"`
+	}
+	getJSON(t, hs.URL+"/v1/jobs/"+running.ID, &view)
+	if view.State != StateDone || view.Result["outcome"] != "finished during drain" {
+		t.Fatalf("in-flight job after drain: %+v", view)
+	}
+	var qview struct {
+		State JobState `json:"state"`
+	}
+	getJSON(t, hs.URL+"/v1/jobs/"+queued.ID, &qview)
+	if qview.State != StateCanceled {
+		t.Fatalf("queued job after drain: state %q, want canceled", qview.State)
+	}
+
+	// Metrics remain scrapeable after the drain and account for both
+	// outcomes.
+	mresp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(mresp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	for _, want := range []string{
+		`flpserve_jobs_total{kind="census",state="done"} 1`,
+		`flpserve_jobs_total{kind="valency",state="canceled"} 1`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics after drain missing %q\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestDrainCancelsChunkedJob pins the cooperative path: a running job
+// that observes the drain flag between chunks stops early and reports
+// canceled.
+func TestDrainCancelsChunkedJob(t *testing.T) {
+	s, _ := newTestServer(t, Options{Workers: 1})
+	started := make(chan struct{})
+	var once bool
+	j, err := s.queue.Submit(KindAdversary, func(pub func(string), canceled func() bool) (any, error) {
+		for {
+			if !once {
+				once = true
+				close(started)
+			}
+			if canceled() {
+				return nil, errCanceled
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	s.Drain()
+	if st := j.State(); st != StateCanceled {
+		t.Fatalf("chunked job after drain: state %q, want canceled", st)
+	}
+}
+
+// TestDrainIdempotent: calling Drain twice is safe and the second call
+// returns with the first.
+func TestDrainIdempotent(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	s.Drain()
+	s.Drain()
+	if _, err := s.queue.Submit(KindCensus, nil); err != ErrDraining {
+		t.Fatalf("submit after drain: %v, want ErrDraining", err)
+	}
+}
+
+// TestQueueFull pins the back-pressure boundary: a full queue refuses
+// with ErrQueueFull (503 at the API), rather than buffering unboundedly.
+func TestQueueFull(t *testing.T) {
+	s, hs := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	defer close(release)
+	// Occupy the worker, then fill the depth-1 queue.
+	if _, err := s.queue.Submit(KindCensus, func(func(string), func() bool) (any, error) {
+		<-release
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "worker pickup", func() bool { return len(s.queue.queue) == 0 })
+	if _, err := s.queue.Submit(KindCensus, func(func(string), func() bool) (any, error) {
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, hs.URL+"/v1/census", CensusRequest{Protocol: "naivemajority", N: 3}, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submission: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("overflow submission: no Retry-After header")
+	}
+}

@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Job lifecycle. Every query the API admits becomes a Job: it waits in a
+// bounded queue, a pool worker runs it against the exploration engines,
+// and its progress events and final result are readable (and streamable)
+// for the rest of the server's life. The queue is the server's
+// back-pressure boundary — a full queue or a draining server refuses new
+// work with 503 rather than buffering unboundedly — and the drain state
+// machine lives here: see Drain.
+
+// JobKind names the query a job runs.
+type JobKind string
+
+// The job kinds, one per POST endpoint.
+const (
+	KindCensus    JobKind = "census"
+	KindValency   JobKind = "valency"
+	KindAdversary JobKind = "adversary"
+)
+
+// JobState is a job's lifecycle position. Transitions: queued → running →
+// (done | failed), or queued/running → canceled during a drain.
+type JobState string
+
+// The job states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// terminal reports whether a state is final.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one progress message, sequenced per job.
+type Event struct {
+	Seq  int       `json:"seq"`
+	Time time.Time `json:"time"`
+	Msg  string    `json:"msg"`
+}
+
+// errCanceled is returned by a job body that observed the drain flag
+// between work chunks; the worker maps it to StateCanceled.
+var errCanceled = errors.New("serve: job canceled by server drain")
+
+// jobFunc is a job's body. pub emits a progress event; canceled reports
+// whether the server is draining, letting chunked jobs stop early (a body
+// that observes it should return errCanceled).
+type jobFunc func(pub func(string), canceled func() bool) (any, error)
+
+// Job is one admitted query.
+type Job struct {
+	ID   string  `json:"id"`
+	Kind JobKind `json:"kind"`
+
+	mu       sync.Mutex
+	state    JobState
+	result   any
+	errMsg   string
+	events   []Event
+	notify   chan struct{} // closed and replaced on every mutation
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	done chan struct{} // closed once the state is terminal
+	run  jobFunc
+}
+
+// JobView is the JSON rendering of a job's current status.
+type JobView struct {
+	ID       string   `json:"id"`
+	Kind     JobKind  `json:"kind"`
+	State    JobState `json:"state"`
+	Created  string   `json:"created"`
+	Started  string   `json:"started,omitempty"`
+	Finished string   `json:"finished,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	Result   any      `json:"result,omitempty"`
+}
+
+// View snapshots the job for a status response.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID: j.ID, Kind: j.Kind, State: j.state,
+		Created: j.created.Format(time.RFC3339Nano),
+		Error:   j.errMsg, Result: j.result,
+	}
+	if !j.started.IsZero() {
+		v.Started = j.started.Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.Finished = j.finished.Format(time.RFC3339Nano)
+	}
+	return v
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// EventsSince returns the events from sequence from onward, a channel that
+// closes on the next mutation, and whether the job is already terminal —
+// everything a streaming handler needs for replay-then-follow.
+func (j *Job) EventsSince(from int) (evs []Event, changed <-chan struct{}, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.events) {
+		evs = append(evs, j.events[from:]...)
+	}
+	return evs, j.notify, j.state.terminal()
+}
+
+// publish appends a progress event.
+func (j *Job) publish(msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, Event{Seq: len(j.events), Time: time.Now(), Msg: msg})
+	j.wake()
+}
+
+// wake flips the notify channel; callers hold j.mu.
+func (j *Job) wake() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state JobState, result any, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.state = state
+	j.result = result
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	j.finished = time.Now()
+	j.events = append(j.events, Event{Seq: len(j.events), Time: j.finished, Msg: "job " + string(state)})
+	j.wake()
+	close(j.done)
+}
+
+// Submission failures, mapped to 503 by the API layer.
+var (
+	// ErrDraining means the server is shutting down and admits no new work.
+	ErrDraining = errors.New("serve: draining, not accepting new jobs")
+	// ErrQueueFull means the job queue is at capacity.
+	ErrQueueFull = errors.New("serve: job queue full")
+)
+
+// jobQueue is the bounded queue plus worker pool. One lives in each
+// Server.
+type jobQueue struct {
+	queue    chan *Job
+	quit     chan struct{}
+	draining atomic.Bool
+	wg       sync.WaitGroup
+	seq      atomic.Int64
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+
+	m *metrics
+}
+
+// newJobQueue starts workers goroutines servicing a queue of the given
+// depth.
+func newJobQueue(workers, depth int, m *metrics) *jobQueue {
+	q := &jobQueue{
+		queue: make(chan *Job, depth),
+		quit:  make(chan struct{}),
+		jobs:  make(map[string]*Job),
+		m:     m,
+	}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Submit admits a job, or refuses with ErrDraining/ErrQueueFull.
+func (q *jobQueue) Submit(kind JobKind, run jobFunc) (*Job, error) {
+	if q.draining.Load() {
+		return nil, ErrDraining
+	}
+	j := &Job{
+		ID:      fmt.Sprintf("%s-%d", kind, q.seq.Add(1)),
+		Kind:    kind,
+		state:   StateQueued,
+		notify:  make(chan struct{}),
+		done:    make(chan struct{}),
+		created: time.Now(),
+		run:     run,
+	}
+	q.mu.Lock()
+	q.jobs[j.ID] = j
+	q.mu.Unlock()
+	select {
+	case q.queue <- j:
+		q.m.queueDepth.Inc()
+		return j, nil
+	default:
+		q.mu.Lock()
+		delete(q.jobs, j.ID)
+		q.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+}
+
+// Get looks a job up by ID.
+func (q *jobQueue) Get(id string) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	return j, ok
+}
+
+// worker services the queue until quit closes.
+func (q *jobQueue) worker() {
+	defer q.wg.Done()
+	for {
+		select {
+		case <-q.quit:
+			return
+		case j := <-q.queue:
+			q.m.queueDepth.Dec()
+			if q.draining.Load() {
+				// Admitted before the drain began, dequeued after: the
+				// drain promise is "queued jobs report canceled".
+				j.finish(StateCanceled, nil, errCanceled)
+				q.m.jobsTotal.With(string(j.Kind), string(StateCanceled)).Inc()
+				continue
+			}
+			q.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job body and settles its terminal state.
+func (q *jobQueue) runJob(j *Job) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.wake()
+	j.mu.Unlock()
+	q.m.inflight.Inc()
+	defer q.m.inflight.Dec()
+
+	result, err := j.run(j.publish, q.draining.Load)
+	state := StateDone
+	switch {
+	case errors.Is(err, errCanceled):
+		state = StateCanceled
+	case err != nil:
+		state = StateFailed
+	}
+	j.finish(state, result, err)
+	q.m.jobsTotal.With(string(j.Kind), string(state)).Inc()
+	j.mu.Lock()
+	elapsed := j.finished.Sub(j.started)
+	j.mu.Unlock()
+	q.m.jobDuration.With(string(j.Kind)).Observe(elapsed.Seconds())
+}
+
+// Drain is the shutdown state machine: (1) stop admitting — Submit
+// refuses with ErrDraining from this instant; (2) cancel everything still
+// queued; (3) stop the workers once their in-flight jobs finish (chunked
+// bodies observe the drain flag and cut out early as canceled); (4) sweep
+// any job that slipped into the queue between steps 2 and 3. On return
+// every admitted job is terminal and the metrics endpoint still serves.
+// Idempotent; safe to call from a signal handler goroutine.
+func (q *jobQueue) Drain() {
+	if q.draining.Swap(true) {
+		return // already draining; first caller does the work
+	}
+	q.cancelQueued()
+	close(q.quit)
+	q.wg.Wait()
+	q.cancelQueued()
+}
+
+// cancelQueued empties the queue, marking each job canceled.
+func (q *jobQueue) cancelQueued() {
+	for {
+		select {
+		case j := <-q.queue:
+			q.m.queueDepth.Dec()
+			j.finish(StateCanceled, nil, errCanceled)
+			q.m.jobsTotal.With(string(j.Kind), string(StateCanceled)).Inc()
+		default:
+			return
+		}
+	}
+}
+
+// Draining reports whether a drain has begun.
+func (q *jobQueue) Draining() bool { return q.draining.Load() }

@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/promtext"
+)
+
+// metrics is the server's instrument panel, served at /metrics in the
+// Prometheus text exposition format. Cache counters are read-on-scrape
+// from the shared AtlasCache, so they need no write-path instrumentation
+// in the engines.
+type metrics struct {
+	reg *promtext.Registry
+
+	jobsTotal   *promtext.CounterVec   // kind, state: terminal outcomes
+	jobDuration *promtext.HistogramVec // kind: queued→terminal latency, seconds
+	queueDepth  *promtext.Gauge
+	inflight    *promtext.Gauge
+	httpTotal   *promtext.CounterVec // endpoint, code
+}
+
+func newMetrics(ac *explore.AtlasCache) *metrics {
+	reg := promtext.NewRegistry()
+	m := &metrics{
+		reg: reg,
+		jobsTotal: promtext.NewCounterVec(reg, "flpserve_jobs_total",
+			"Jobs finished, by kind and terminal state.", "kind", "state"),
+		jobDuration: promtext.NewHistogramVec(reg, "flpserve_job_duration_seconds",
+			"Job run duration (start to terminal state) in seconds.", nil, "kind"),
+		queueDepth: promtext.NewGauge(reg, "flpserve_queue_depth",
+			"Jobs waiting in the admission queue."),
+		inflight: promtext.NewGauge(reg, "flpserve_jobs_inflight",
+			"Jobs currently executing on pool workers."),
+		httpTotal: promtext.NewCounterVec(reg, "flpserve_http_requests_total",
+			"HTTP requests served, by endpoint and status code.", "endpoint", "code"),
+	}
+	cache := promtext.NewCounterFuncVec(reg, "flpserve_atlas_cache_lookups_total",
+		"Shared atlas cache lookups, by outcome: hit (answered from memory), miss (ran a build), merged (waited on a concurrent caller's build).", "outcome")
+	cache.With(func() int64 { h, _, _ := ac.Stats(); return h }, "hit")
+	cache.With(func() int64 { _, mi, _ := ac.Stats(); return mi }, "miss")
+	cache.With(func() int64 { _, _, me := ac.Stats(); return me }, "merged")
+	return m
+}

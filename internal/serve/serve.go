@@ -1,0 +1,102 @@
+// Package serve exposes the repo's exploration engines — the Lemma 2
+// census, single-root valency classification, and the Theorem 1 adversary
+// — as a REST service with async jobs, progress streaming, a shared
+// singleflight atlas cache, Prometheus metrics, and graceful drain.
+//
+// The serving layer adds no semantics: every query runs the same engine
+// code paths as the CLIs (cmd/flpcheck and friends), so a served answer is
+// byte-identical to the corresponding command-line invocation. What the
+// server adds is amortization — one explore.AtlasCache shared by every
+// job, so N concurrent identical queries cost one BuildAtlas sweep — and
+// operability: bounded admission, /metrics, /healthz, and a drain state
+// machine for clean shutdown.
+//
+// Endpoints:
+//
+//	POST /v1/census     {"protocol","n","budget"?}          → 202 + job (or ?wait=1 → 200 + result)
+//	POST /v1/valency    {"protocol","n","inputs","budget"?} → 202 + job
+//	POST /v1/adversary  {"protocol","n","stages"?}          → 202 + job
+//	GET  /v1/jobs/{id}            → job status + result (?wait=1 blocks)
+//	GET  /v1/jobs/{id}/events     → NDJSON progress stream, replay-then-follow
+//	GET  /v1/protocols            → servable protocol names
+//	GET  /metrics                 → Prometheus text exposition
+//	GET  /healthz                 → liveness + drain status
+package serve
+
+import (
+	"net/http"
+
+	"github.com/flpsim/flp/internal/explore"
+)
+
+// Options configure a Server. The zero value is usable.
+type Options struct {
+	// Workers is the job pool size — how many queries execute
+	// concurrently. Default 2. Parallelism inside one query is the
+	// request's workers field; this is parallelism across queries.
+	Workers int
+	// QueueDepth bounds how many admitted jobs may wait for a pool
+	// worker. Beyond it, submissions get 503 + Retry-After. Default 64.
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	return o
+}
+
+// Server is the exploration service: job queue, shared atlas cache,
+// metrics, and the HTTP handler tree. Create with New, expose Handler()
+// on an http.Server, call Drain() on shutdown.
+type Server struct {
+	opt     Options
+	atlases *explore.AtlasCache
+	m       *metrics
+	queue   *jobQueue
+	mux     *http.ServeMux
+}
+
+// New builds a server. The embedded atlas cache is fresh; every job this
+// server runs shares it.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:     opt,
+		atlases: explore.NewAtlasCache(),
+	}
+	s.m = newMetrics(s.atlases)
+	s.queue = newJobQueue(opt.Workers, opt.QueueDepth, s.m)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/census", s.handleCensus)
+	s.mux.HandleFunc("POST /v1/valency", s.handleValency)
+	s.mux.HandleFunc("POST /v1/adversary", s.handleAdversary)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", s.m.reg.Handler())
+	return s
+}
+
+// Handler returns the server's HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain runs the shutdown state machine: stop admitting (new submissions
+// get 503 + Retry-After immediately), cancel queued jobs, let in-flight
+// jobs finish (chunked ones cut out early as canceled), and return once
+// every admitted job is terminal. Status, events, metrics, and health
+// endpoints keep serving throughout and after — the process decides when
+// to stop listening, typically via http.Server.Shutdown after Drain
+// returns.
+func (s *Server) Drain() { s.queue.Drain() }
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.queue.Draining() }
+
+// AtlasCache exposes the shared cache (benchmarks read its stats).
+func (s *Server) AtlasCache() *explore.AtlasCache { return s.atlases }
