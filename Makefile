@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-short test-dist test-chaos test-serve serve fuzz fuzz-conformance corpus bench bench-parallel bench-valency bench-serve vet
+.PHONY: all build test test-race test-short test-dist test-chaos test-serve serve fuzz fuzz-conformance corpus bench bench-parallel bench-valency bench-serve bench-scaling bench-alloc vet
 
 all: build test
 
@@ -83,6 +83,20 @@ bench-valency:
 # p50/p99 latency and cache hit rate, written to BENCH_serve.json.
 bench-serve:
 	$(GO) run ./cmd/flpbench -experiment E22
+
+# The multi-core scaling table: census kernels at workers 1/2/4/8, written
+# to BENCH_scaling.json with gomaxprocs/numcpu recorded so single-core
+# artifacts cannot masquerade as scaling evidence. CI runs the same path in
+# -smoke mode on its 4-vCPU matrix legs; run this on a multi-core box for
+# the real numbers (SCALEFLAGS=-smoke for the quick variant).
+bench-scaling:
+	$(GO) run ./cmd/flpbench -experiment E23 $(SCALEFLAGS)
+
+# The allocation guardrail: the AllocsPerRun pins plus the hot-path
+# benchmarks the EXPERIMENTS.md numbers are regenerated from.
+bench-alloc:
+	$(GO) test -run 'TestAllocs' -count=1 ./internal/model ./internal/explore
+	$(GO) test -bench 'BenchmarkApplyOnly|BenchmarkConfigHash|BenchmarkInternHit' -benchmem -run '^$$' ./internal/model
 
 vet:
 	$(GO) vet ./...

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		id         = flag.String("experiment", "all", "experiment id (E1..E22) or 'all'")
+		id         = flag.String("experiment", "all", "experiment id (E1..E23) or 'all'")
 		scale      = flag.Int("scale", 1, "multiply trial counts")
 		seed       = flag.Int64("seed", 1, "base seed")
 		workers    = flag.Int("workers", 0, "exploration workers: sets GOMAXPROCS, the default worker count of every exploration (0 = leave as is)")
@@ -31,6 +31,8 @@ func main() {
 		valout     = flag.String("valbench-out", "BENCH_valency.json", "file E20 writes its atlas-vs-per-config timings to ('' disables)")
 		failout    = flag.String("failbench-out", "BENCH_failover.json", "file E21 writes its replication/failover timings to ('' disables)")
 		serveout   = flag.String("servebench-out", "BENCH_serve.json", "file E22 writes its serving-layer latencies to ('' disables)")
+		scaleout   = flag.String("scalebench-out", "BENCH_scaling.json", "file E23 writes its worker-scaling table to ('' disables)")
+		smoke      = flag.Bool("smoke", false, "E23 smoke mode: drop the wide-frontier kernel so CI matrix legs finish in seconds")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -53,7 +55,7 @@ func main() {
 	}
 
 	if *id != "all" {
-		tab, err := runOne(*id, sizes, *distout, *valout, *failout, *serveout)
+		tab, err := runOne(*id, sizes, outs{dist: *distout, val: *valout, fail: *failout, serve: *serveout, scale: *scaleout, smoke: *smoke})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flpbench: %v\n", err)
 			os.Exit(1)
@@ -64,7 +66,17 @@ func main() {
 	start := time.Now()
 	for _, r := range experiments.Suite(sizes) {
 		t0 := time.Now()
-		tab, err := runOne(r.ID, sizes, *distout, *valout, *failout, *serveout)
+		// The full suite keeps its seconds-scale turnaround: E23 runs its
+		// small kernels only here, and leaves BENCH_scaling.json alone so a
+		// smoke table never overwrites the committed full sweep. The
+		// wide-frontier kernel is minutes of wall clock by design — reach
+		// it with -experiment E23 (make bench-scaling).
+		o := outs{dist: *distout, val: *valout, fail: *failout, serve: *serveout, scale: *scaleout, smoke: *smoke}
+		if r.ID == "E23" {
+			o.smoke = true
+			o.scale = ""
+		}
+		tab, err := runOne(r.ID, sizes, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flpbench: %s: %v\n", r.ID, err)
 			os.Exit(1)
@@ -110,18 +122,25 @@ func profiles(cpu, mem string) func() {
 	}
 }
 
-// runOne dispatches one experiment. E19-E22 are special-cased so their
+// outs bundles the machine-readable output paths of the benchmark
+// experiments, plus the E23 smoke switch.
+type outs struct {
+	dist, val, fail, serve, scale string
+	smoke                         bool
+}
+
+// runOne dispatches one experiment. E19-E23 are special-cased so their
 // machine-readable comparisons land in BENCH_distexplore.json,
-// BENCH_valency.json, BENCH_failover.json, and BENCH_serve.json alongside
-// the printed tables.
-func runOne(id string, sizes experiments.Sizes, distout, valout, failout, serveout string) (*experiments.Table, error) {
+// BENCH_valency.json, BENCH_failover.json, BENCH_serve.json, and
+// BENCH_scaling.json alongside the printed tables.
+func runOne(id string, sizes experiments.Sizes, o outs) (*experiments.Table, error) {
 	switch id {
 	case "E19":
 		tab, bench, err := experiments.E19DistExploreBench()
 		if err != nil {
 			return nil, err
 		}
-		if err := writeJSON(distout, bench); err != nil {
+		if err := writeJSON(o.dist, bench); err != nil {
 			return nil, err
 		}
 		return tab, nil
@@ -130,7 +149,7 @@ func runOne(id string, sizes experiments.Sizes, distout, valout, failout, serveo
 		if err != nil {
 			return nil, err
 		}
-		if err := writeJSON(valout, bench); err != nil {
+		if err := writeJSON(o.val, bench); err != nil {
 			return nil, err
 		}
 		return tab, nil
@@ -139,7 +158,7 @@ func runOne(id string, sizes experiments.Sizes, distout, valout, failout, serveo
 		if err != nil {
 			return nil, err
 		}
-		if err := writeJSON(failout, bench); err != nil {
+		if err := writeJSON(o.fail, bench); err != nil {
 			return nil, err
 		}
 		return tab, nil
@@ -148,7 +167,16 @@ func runOne(id string, sizes experiments.Sizes, distout, valout, failout, serveo
 		if err != nil {
 			return nil, err
 		}
-		if err := writeJSON(serveout, bench); err != nil {
+		if err := writeJSON(o.serve, bench); err != nil {
+			return nil, err
+		}
+		return tab, nil
+	case "E23":
+		tab, bench, err := experiments.E23ScalingBench(o.smoke)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeJSON(o.scale, bench); err != nil {
 			return nil, err
 		}
 		return tab, nil

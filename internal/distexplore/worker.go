@@ -58,11 +58,13 @@ type job struct {
 
 	// visited is this worker's slice of the global visited set: every
 	// canonical key whose hash lands in a shard this worker replicates,
-	// bucketed by fingerprint with full-key confirmation (fingerprint
-	// collisions cost a string comparison, never correctness). Replicas of
-	// one shard apply the same dedup batches in the same order, so their
-	// slices are identical at every level boundary.
-	visited map[uint64][]string
+	// interned by fingerprint with full-key confirmation (fingerprint
+	// collisions cost a byte comparison, never correctness). Keys arrive in
+	// wire (string) form and are stored in the interner's per-shard arenas;
+	// a dedup hit allocates nothing. Replicas of one shard apply the same
+	// dedup batches in the same order, so their slices are identical at
+	// every level boundary.
+	visited *model.Interner
 
 	// frontier holds adopted-but-unexpanded nodes, keyed by depth, in
 	// ascending global index order. Levels strictly below the one being
@@ -85,16 +87,15 @@ type job struct {
 	// pure over the frontier and recomputed on every call.
 	lastDedup, lastAdopt int
 	lastDedupResp        []byte
+
+	// candScratch is the expand phase's candidate buffer, recycled across
+	// levels (encodeLevelCandidates serializes it before the next reuse).
+	candScratch []candidate
 }
 
 func (j *job) visitedAdd(hash uint64, key string) (fresh bool) {
-	for _, k := range j.visited[hash] {
-		if k == key {
-			return false
-		}
-	}
-	j.visited[hash] = append(j.visited[hash], key)
-	return true
+	_, fresh = j.visited.InternKey(hash, key)
+	return fresh
 }
 
 // replicatesShard reports whether this worker holds the shard, as primary
@@ -362,7 +363,7 @@ func (w *Worker) initJob(req *initReq) error {
 		workerCount: req.WorkerCount,
 		workerIndex: req.WorkerIndex,
 		replicas:    req.Replicas,
-		visited:     make(map[uint64][]string),
+		visited:     model.NewInterner(),
 		frontier:    make(map[int][]ownedNode),
 		cacheLevel:  -1,
 		lastDedup:   -1,
@@ -383,14 +384,18 @@ func (w *Worker) expandLevel(level int, shards []uint64) []byte {
 	j := w.job
 	j.pruneBelow(level)
 	if j.cacheLevel != level {
-		j.levelCache = make(map[string]*model.Config)
+		if j.levelCache == nil {
+			j.levelCache = make(map[string]*model.Config)
+		} else {
+			clear(j.levelCache) // keep the buckets, drop the entries
+		}
 		j.cacheLevel = level
 	}
 	want := make(map[int]bool, len(shards))
 	for _, s := range shards {
 		want[int(s)] = true
 	}
-	var cands []candidate
+	cands := j.candScratch[:0]
 	for _, nd := range j.frontier[level] {
 		if !want[nd.shard] {
 			continue
@@ -410,6 +415,7 @@ func (w *Worker) expandLevel(level int, shards []uint64) []byte {
 			})
 		}
 	}
+	j.candScratch = cands
 	return encodeLevelCandidates(level, cands)
 }
 

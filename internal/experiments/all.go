@@ -72,6 +72,7 @@ func Suite(s Sizes) []Runner {
 		{"E20", E20ValencyAtlas},
 		{"E21", E21Failover},
 		{"E22", E22Serve},
+		{"E23", E23Scaling},
 	}
 }
 

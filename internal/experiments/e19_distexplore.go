@@ -36,6 +36,7 @@ type DistBenchRow struct {
 // DistBench is the machine-readable form of the E19 table.
 type DistBench struct {
 	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"numcpu"`
 	Transport  string         `json:"transport"`
 	Workers    int            `json:"workers"`
 	Shards     int            `json:"shards"`
@@ -77,6 +78,7 @@ func E19DistExploreBench() (*Table, *DistBench, error) {
 
 	bench := &DistBench{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Transport:  "loopback",
 		Workers:    workers,
 		Shards:     shards,

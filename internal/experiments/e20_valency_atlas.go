@@ -36,6 +36,7 @@ type ValencyBenchRow struct {
 // ValencyBench is the machine-readable form of the E20 table.
 type ValencyBench struct {
 	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"numcpu"`
 	Rows       []ValencyBenchRow `json:"rows"`
 }
 
@@ -53,7 +54,7 @@ func E20ValencyAtlasBench() (*Table, *ValencyBench, error) {
 		Title:   "Valency atlas: whole-graph classification vs one BFS per configuration (1 worker)",
 		Columns: []string{"kernel", "protocols", "configs", "per-config", "atlas", "speedup", "agree"},
 	}
-	bench := &ValencyBench{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	bench := &ValencyBench{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 
 	e2 := []model.Protocol{protocols.NewNaiveMajority(3)}
 	e11 := []model.Protocol{

@@ -34,6 +34,7 @@ type FailoverBenchRow struct {
 // FailoverBench is the machine-readable form of the E21 table.
 type FailoverBench struct {
 	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"numcpu"`
 	Transport  string             `json:"transport"`
 	Protocol   string             `json:"protocol"`
 	Workers    int                `json:"workers"`
@@ -74,6 +75,7 @@ func E21FailoverBench() (*Table, *FailoverBench, error) {
 	}
 	bench := &FailoverBench{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Transport:  "loopback",
 		Protocol:   protocol,
 		Workers:    workers,

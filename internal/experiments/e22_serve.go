@@ -38,6 +38,7 @@ type ServeBenchRow struct {
 // ServeBench is the machine-readable form of the E22 table.
 type ServeBench struct {
 	GOMAXPROCS   int             `json:"gomaxprocs"`
+	NumCPU       int             `json:"numcpu"`
 	Clients      int             `json:"clients"`
 	Workload     string          `json:"workload"`
 	Rows         []ServeBenchRow `json:"rows"`
@@ -131,6 +132,7 @@ func E22ServeBench() (*Table, *ServeBench, error) {
 	}
 	bench := &ServeBench{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Clients:    clients,
 		Workload:   "census naivemajority/3, valency naivemajority/3 + 2pc/3, adversary paxos/3 (3 stages), per client",
 	}

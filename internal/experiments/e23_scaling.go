@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+)
+
+// E23 is the multi-core scaling benchmark of the in-process parallel
+// engine: the census kernels the suite leans on (the E2 initial-valency
+// census, the E19 reachability sweep, the E20 atlas build) run at workers
+// 1, 2, 4, and 8, wall-clock timed. Every run also folds the visit-order
+// fingerprints into a checksum, so the table carries its own proof that
+// results are byte-identical at every worker count — speedups that change
+// answers are not speedups.
+//
+// Honesty rule: every emitted artifact records GOMAXPROCS and
+// runtime.NumCPU(). A single-core box cannot show parallel wins (the
+// level-synchronous engine then only adds coordination overhead), and its
+// artifact says so on its face; the CI scaling job runs this on a ≥4-CPU
+// runner, which is where the real numbers come from.
+
+// ScalingWorkers is the worker-count ladder every kernel is swept over.
+var ScalingWorkers = []int{1, 2, 4, 8}
+
+// ScalingCell is one (kernel, workers) timing.
+type ScalingCell struct {
+	Workers int     `json:"workers"`
+	MS      float64 `json:"ms"`
+	Speedup float64 `json:"speedup"` // sequential wall / this wall
+}
+
+// ScalingRow is one kernel's sweep across the worker ladder.
+type ScalingRow struct {
+	Kernel   string        `json:"kernel"`
+	Protocol string        `json:"protocol"`
+	Configs  int           `json:"configs"`
+	Cells    []ScalingCell `json:"cells"`
+	// Agree is the byte-identity bit: identical visited counts and
+	// identical visit-order checksums at every worker count.
+	Agree bool `json:"agree"`
+}
+
+// ScalingBench is the machine-readable form of the E23 table, serialized
+// into BENCH_scaling.json by cmd/flpbench.
+type ScalingBench struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numcpu"`
+	Smoke      bool         `json:"smoke"`
+	Workers    []int        `json:"workers"`
+	Rows       []ScalingRow `json:"rows"`
+}
+
+// E23Scaling is the Suite entry point (table only). It runs in smoke
+// mode — the wide-frontier kernel is minutes of wall clock by design and
+// would sink the suite's seconds-scale turnaround; run
+// `flpbench -experiment E23` (make bench-scaling) for the full sweep.
+func E23Scaling() (*Table, error) {
+	t, _, err := E23ScalingBench(true)
+	return t, err
+}
+
+// E23ScalingBench sweeps every kernel over the worker ladder. Smoke mode
+// drops the wide-frontier kernel so CI matrix legs finish in seconds; the
+// small kernels and the byte-identity checks run either way.
+func E23ScalingBench(smoke bool) (*Table, *ScalingBench, error) {
+	t := &Table{
+		ID:      "E23",
+		Title:   fmt.Sprintf("Parallel engine scaling: census kernels at workers 1/2/4/8 (GOMAXPROCS=%d, NumCPU=%d)", runtime.GOMAXPROCS(0), runtime.NumCPU()),
+		Columns: []string{"kernel", "protocol", "configs", "w=1", "w=2", "w=4", "w=8", "agree"},
+	}
+	bench := &ScalingBench{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Smoke:      smoke,
+		Workers:    ScalingWorkers,
+	}
+
+	type kernel struct {
+		name, protocol string
+		run            func(opt explore.Options) (int, uint64, error)
+	}
+	kernels := []kernel{
+		{"E2 initial-valency census", "naivemajority", func(opt explore.Options) (int, uint64, error) {
+			return scalingSweep(protocols.NewNaiveMajority(3), opt)
+		}},
+		{"E19 reachability sweep", "2pc", func(opt explore.Options) (int, uint64, error) {
+			return scalingSweep(protocols.NewTwoPhaseCommit(3), opt)
+		}},
+		{"E20 atlas build", "naivemajority", func(opt explore.Options) (int, uint64, error) {
+			return scalingAtlas(protocols.NewNaiveMajority(3), opt)
+		}},
+	}
+	if !smoke {
+		// The wide-frontier kernel: a truncated sweep of an infinite state
+		// space, where breadth-first levels hold thousands of nodes and the
+		// parallel engine has real work to distribute.
+		kernels = append(kernels, kernel{"wide-frontier sweep (truncated)", "onethird", func(opt explore.Options) (int, uint64, error) {
+			opt.MaxConfigs = 30000
+			return scalingSweep(protocols.NewOneThirdRule(4), opt)
+		}})
+	}
+
+	for _, k := range kernels {
+		row := ScalingRow{Kernel: k.name, Protocol: k.protocol, Agree: true}
+		var baseMS float64
+		var baseVisited int
+		var baseSum uint64
+		for i, w := range ScalingWorkers {
+			start := time.Now()
+			visited, sum, err := k.run(explore.Options{Workers: w})
+			if err != nil {
+				return nil, nil, err
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			if i == 0 {
+				baseMS, baseVisited, baseSum = ms, visited, sum
+				row.Configs = visited
+			} else if visited != baseVisited || sum != baseSum {
+				row.Agree = false
+			}
+			row.Cells = append(row.Cells, ScalingCell{Workers: w, MS: ms, Speedup: baseMS / ms})
+		}
+		cells := make([]any, 0, len(row.Cells))
+		for _, c := range row.Cells {
+			cells = append(cells, fmt.Sprintf("%.0fms (%.2fx)", c.MS, c.Speedup))
+		}
+		t.AddRow(append([]any{row.Kernel, row.Protocol, row.Configs}, append(cells, row.Agree)...)...)
+		bench.Rows = append(bench.Rows, row)
+	}
+
+	t.AddNote("agree = identical visited counts AND identical visit-order checksums at every worker count — the byte-identical contract, checked, not assumed")
+	t.AddNote("speedups are meaningful only when NumCPU ≥ workers; artifacts record gomaxprocs and numcpu so single-core runs cannot masquerade as scaling evidence")
+	return t, bench, nil
+}
+
+// scalingSweep explores every input vector of pr and returns the total
+// visited count plus an order-sensitive FNV fold of the visit sequence's
+// fingerprints — equal checksums mean the engines visited the same
+// configurations in the same order.
+func scalingSweep(pr model.Protocol, opt explore.Options) (int, uint64, error) {
+	visited := 0
+	sum := uint64(14695981039346656037)
+	for _, in := range model.AllInputs(pr.N()) {
+		root, err := model.Initial(pr, in)
+		if err != nil {
+			return 0, 0, err
+		}
+		explore.Explore(pr, root, opt, nil, func(c *model.Config, _ int, _ func() model.Schedule) bool {
+			visited++
+			sum = (sum ^ c.Hash()) * 1099511628211
+			return false
+		})
+	}
+	return visited, sum, nil
+}
+
+// scalingAtlas builds the atlas of every input vector of pr and folds node
+// order the same way (atlas node ids are admission order, so the fold is
+// order-sensitive exactly like the sweep's).
+func scalingAtlas(pr model.Protocol, opt explore.Options) (int, uint64, error) {
+	visited := 0
+	sum := uint64(14695981039346656037)
+	for _, in := range model.AllInputs(pr.N()) {
+		root, err := model.Initial(pr, in)
+		if err != nil {
+			return 0, 0, err
+		}
+		a, ok := explore.BuildAtlas(pr, root, opt)
+		if !ok {
+			return 0, 0, fmt.Errorf("experiments: E23: atlas refused %s inputs %s", pr.Name(), in)
+		}
+		visited += a.Len()
+		for id := 0; id < a.Len(); id++ {
+			sum = (sum ^ a.Config(int32(id)).Hash()) * 1099511628211
+		}
+	}
+	return visited, sum, nil
+}

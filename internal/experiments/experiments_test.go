@@ -553,8 +553,8 @@ func TestE22ServeShape(t *testing.T) {
 func TestSuiteAndRunByID(t *testing.T) {
 	s := experiments.DefaultSizes()
 	suite := experiments.Suite(s)
-	if len(suite) != 22 {
-		t.Fatalf("suite has %d experiments, want 22", len(suite))
+	if len(suite) != 23 {
+		t.Fatalf("suite has %d experiments, want 23", len(suite))
 	}
 	ids := map[string]bool{}
 	for _, r := range suite {

@@ -101,22 +101,29 @@ func BuildAtlas(pr model.Protocol, root *model.Config, opt Options) (*Atlas, boo
 	a.admit(root, -1, model.Event{})
 	a.succStart = append(a.succStart, 0) // CSR sentinel: node u's edges are succStart[u]:succStart[u+1]
 
-	expand := func(n node) []Successor { return ExpandConfig(pr, n.cfg, nil) }
+	expand := func(n node, dst []Successor) []Successor { return AppendSuccessors(pr, n.cfg, nil, dst) }
+	pool := &succPool{}
+	var levelScratch []node
+	var seqBuf []Successor
 	for start, end := 0, 1; start < end; start, end = end, len(a.cfgs) {
 		var exps [][]Successor
 		if opt.Workers > 1 {
-			level := make([]node, end-start)
+			if cap(levelScratch) < end-start {
+				levelScratch = make([]node, end-start)
+			}
+			level := levelScratch[:end-start]
 			for i := range level {
 				level[i] = node{cfg: a.cfgs[start+i]}
 			}
-			exps = expandLevel(level, expand, opt.Workers)
+			exps = expandLevel(level, expand, opt.Workers, pool)
 		}
 		for u := start; u < end; u++ {
 			var succs []Successor
 			if exps != nil {
 				succs = exps[u-start]
 			} else {
-				succs = ExpandConfig(pr, a.cfgs[u], nil)
+				seqBuf = AppendSuccessors(pr, a.cfgs[u], nil, seqBuf)
+				succs = seqBuf
 			}
 			for _, s := range succs {
 				id := int32(len(a.cfgs))
@@ -132,6 +139,9 @@ func BuildAtlas(pr model.Protocol, root *model.Config, opt Options) (*Atlas, boo
 				a.succVia = append(a.succVia, s.Via)
 			}
 			a.succStart = append(a.succStart, int32(len(a.succTo)))
+		}
+		if exps != nil {
+			pool.recycle(exps)
 		}
 	}
 

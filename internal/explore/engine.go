@@ -39,16 +39,24 @@ func skipEvent(pr model.Protocol, c *model.Config, e model.Event, skip func(mode
 // worker — an in-process goroutine or a remote shard — without changing
 // results. Fingerprints are computed here, off the merge path.
 func ExpandConfig(pr model.Protocol, c *model.Config, skip func(model.Event) bool) []Successor {
-	var out []Successor
+	return AppendSuccessors(pr, c, skip, nil)
+}
+
+// AppendSuccessors is ExpandConfig appending into a caller-owned buffer, so
+// level-synchronous engines can recycle successor slices across levels
+// instead of allocating one per expanded node. dst is truncated before use;
+// the returned slice is dst grown in place when capacity allows.
+func AppendSuccessors(pr model.Protocol, c *model.Config, skip func(model.Event) bool, dst []Successor) []Successor {
+	dst = dst[:0]
 	for _, e := range model.Events(c) {
 		if skipEvent(pr, c, e, skip) {
 			continue
 		}
 		nc := model.MustApply(pr, c, e)
 		nc.Hash()
-		out = append(out, Successor{Via: e, Cfg: nc})
+		dst = append(dst, Successor{Via: e, Cfg: nc})
 	}
-	return out
+	return dst
 }
 
 // AvoidFilter returns the event filter realizing Lemma 3's set ℰ of

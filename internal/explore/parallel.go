@@ -5,11 +5,62 @@ import (
 	"sync/atomic"
 )
 
+// succPool recycles the per-level allocations of the level-synchronous
+// engines: the outer successor-list slice (one slot per frontier node) and
+// the per-node successor buffers. One pool serves one exploration, owned by
+// the coordinator; buffers are handed out before a level's workers start
+// and taken back after the level is merged, so no worker ever touches the
+// free list concurrently. In steady state a level costs zero successor
+// allocations beyond frontier growth itself.
+type succPool struct {
+	exps [][]Successor // level-indexed scratch, reused every level
+	free [][]Successor // recycled successor buffers, len 0, cap > 0
+}
+
+// level returns a successor-list slice of length n with recycled buffers
+// pre-distributed into its slots (nil where the free list ran dry —
+// AppendSuccessors grows those into fresh buffers that future levels then
+// recycle). The slice aliases the pool's scratch: it is valid until the
+// next level call, which is exactly the coordinator's merge window.
+func (p *succPool) level(n int) [][]Successor {
+	if cap(p.exps) < n {
+		p.exps = make([][]Successor, n)
+	}
+	out := p.exps[:n]
+	for i := range out {
+		if f := len(p.free) - 1; f >= 0 {
+			out[i] = p.free[f]
+			p.free = p.free[:f]
+		} else {
+			out[i] = nil
+		}
+	}
+	return out
+}
+
+// recycle takes a merged level's buffers back, clearing every entry so
+// recycled slots do not retain dead configurations across levels.
+func (p *succPool) recycle(out [][]Successor) {
+	for i, s := range out {
+		out[i] = nil
+		if cap(s) == 0 {
+			continue
+		}
+		s = s[:cap(s)]
+		for j := range s {
+			s[j] = Successor{}
+		}
+		p.free = append(p.free, s[:0])
+	}
+}
+
 // expandLevel runs expand over every node of one breadth-first level on a
 // pool of workers and returns the successor lists indexed like level.
 // Expansion is pure, so the only coordination is work distribution: an
 // atomic cursor hands out node indices, which keeps fast workers busy when
-// node costs are uneven.
+// node costs are uneven. Each slot of the returned slice carries a
+// recycled buffer from p that expand appends into; the caller must hand
+// the slice back with p.recycle once merged.
 //
 // A panic in any worker (a protocol contract violation surfacing through
 // MustApply) is re-raised on the caller's goroutine once the pool has
@@ -17,10 +68,10 @@ import (
 // frontier index is re-raised — the node the sequential engine would have
 // reached first — so the surfaced failure is byte-identical at every
 // worker count.
-func expandLevel(level []node, expand func(node) []Successor, workers int) [][]Successor {
-	out := make([][]Successor, len(level))
+func expandLevel(level []node, expand func(node, []Successor) []Successor, workers int, p *succPool) [][]Successor {
+	out := p.level(len(level))
 	if len(level) == 1 {
-		out[0] = expand(level[0])
+		out[0] = expand(level[0], out[0])
 		return out
 	}
 	if workers > len(level) {
@@ -49,7 +100,7 @@ func expandLevel(level []node, expand func(node) []Successor, workers int) [][]S
 					return
 				}
 				cur = i
-				out[i] = expand(level[i])
+				out[i] = expand(level[i], out[i])
 			}
 		}(w)
 	}

@@ -78,13 +78,14 @@ func ExploreFiltered(pr model.Protocol, c *model.Config, opt Options, skip func(
 	}
 
 	// expand computes the successors of one node via the shared engine
-	// core. It is a pure function of the node, so workers may run it ahead
-	// of the coordinator without changing results.
-	expand := func(n node) []Successor {
+	// core, appending into a buffer recycled across levels. It is a pure
+	// function of the node and its buffer, so workers may run it ahead of
+	// the coordinator without changing results.
+	expand := func(n node, dst []Successor) []Successor {
 		if opt.DepthCapped(n.depth) {
-			return nil
+			return dst[:0]
 		}
-		return ExpandConfig(pr, n.cfg, skip)
+		return AppendSuccessors(pr, n.cfg, skip, dst)
 	}
 
 	// merge folds one node's successors into the frontier: first-seen
@@ -143,10 +144,11 @@ func ExploreFiltered(pr model.Protocol, c *model.Config, opt Options, skip func(
 	// then visited and merged in index order. Workers may expand nodes the
 	// budget will discard (the level is speculated as a whole); that slack
 	// is bounded by one level and never reaches an observable.
+	pool := &succPool{}
 	for start, end := 0, 1; start < end; start, end = end, len(nodes) {
 		var exps [][]Successor
 		if !led.Sealed() {
-			exps = expandLevel(nodes[start:end], expand, opt.Workers)
+			exps = expandLevel(nodes[start:end], expand, opt.Workers, pool)
 		}
 		for i := start; i < end; i++ {
 			n := nodes[i]
@@ -159,6 +161,9 @@ func ExploreFiltered(pr model.Protocol, c *model.Config, opt Options, skip func(
 			if exps != nil {
 				merge(i, exps[i-start])
 			}
+		}
+		if exps != nil {
+			pool.recycle(exps)
 		}
 	}
 	return led.Complete(), len(nodes)

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -187,7 +188,7 @@ type cacheShard struct {
 }
 
 type cacheEntry struct {
-	key  string
+	key  []byte // binary canonical key (Config.KeyBytes)
 	info ValencyInfo
 }
 
@@ -223,11 +224,11 @@ func NewSmartCache(pr model.Protocol, opt Options, popt ProbeOptions) *Cache {
 func (vc *Cache) Classify(c *model.Config) ValencyInfo {
 	h := c.Hash()
 	sh := &vc.shards[h&(cacheShardCount-1)]
-	key := c.Key()
+	key := c.KeyBytes()
 
 	sh.mu.Lock()
 	for _, e := range sh.entries[h] {
-		if e.key == key {
+		if bytes.Equal(e.key, key) {
 			sh.mu.Unlock()
 			vc.hits.Add(1)
 			return e.info
@@ -253,11 +254,11 @@ func (vc *Cache) Classify(c *model.Config) ValencyInfo {
 
 // store memoizes info for (h, key) unless a concurrent call stored first,
 // returning the entry every caller will observe from now on.
-func (vc *Cache) store(sh *cacheShard, h uint64, key string, info ValencyInfo) ValencyInfo {
+func (vc *Cache) store(sh *cacheShard, h uint64, key []byte, info ValencyInfo) ValencyInfo {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for _, e := range sh.entries[h] {
-		if e.key == key {
+		if bytes.Equal(e.key, key) {
 			return e.info // a concurrent classification stored first
 		}
 	}

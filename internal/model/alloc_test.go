@@ -1,0 +1,132 @@
+package model_test
+
+// Allocation-regression guards for the exploration hot path: the
+// dedup-dominated loop of every engine is "materialize a successor, hash
+// it, look it up in the visited set". These tests pin the allocs/op of the
+// canonical-key machinery with testing.AllocsPerRun, so the zero-alloc
+// binary-key work cannot silently rot back into per-candidate string
+// building. The matching wall-clock benchmarks live alongside so the
+// numbers in EXPERIMENTS.md can be regenerated with
+//
+//	go test -bench 'BenchmarkIntern|BenchmarkConfigHash' -benchmem ./internal/model
+//
+// The ceilings are deliberately small integers, not exact counts: an
+// alloc-free fast path stays pinned at its ceiling while Go-version noise
+// (map internals, testing harness) cannot produce false failures below it.
+
+import (
+	"testing"
+
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+)
+
+// internFixture returns a protocol, a parent configuration with its key
+// caches warm (as every frontier node's are by the time it is expanded),
+// and one applicable event — the ingredients of one candidate-successor
+// materialization.
+func internFixture(tb testing.TB) (model.Protocol, *model.Config, model.Event) {
+	tb.Helper()
+	factory, ok := protocols.Lookup("naivemajority")
+	if !ok {
+		tb.Fatal("naivemajority not registered")
+	}
+	pr, err := factory(3)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c := model.MustInitial(pr, model.Inputs{model.V0, model.V1, model.V1})
+	// Take two steps so the buffer is non-trivial, like a mid-exploration
+	// frontier node.
+	c = model.MustApply(pr, c, model.NullEvent(0))
+	c = model.MustApply(pr, c, model.NullEvent(1))
+	c.Hash() // warm the parent's fingerprint and binary key
+	evs := model.Events(c)
+	if len(evs) == 0 {
+		tb.Fatal("no applicable events")
+	}
+	return pr, c, evs[len(evs)-1] // a delivery event, the common case
+}
+
+// TestAllocsInternHit pins the full dedup-hit path: materialize a
+// successor, fingerprint it, and look it up against a visited set that has
+// already seen it. This is the single hottest loop of every engine.
+func TestAllocsInternHit(t *testing.T) {
+	pr, c, e := internFixture(t)
+	it := model.NewInterner()
+	it.Intern(model.MustApply(pr, c, e)) // seed the visited set
+	allocs := testing.AllocsPerRun(200, func() {
+		nc := model.MustApply(pr, c, e)
+		it.Intern(nc)
+	})
+	// Materialization (states slice, buffer clone, config) costs 18
+	// allocs/op on this fixture (BenchmarkApplyOnly); the key machinery on
+	// top — changed-state re-encode, buffer field, binary key buffer — costs
+	// 7, down from ~38 on the escaped-string path (≥5×, the PR-8 bar). The
+	// interner lookup itself must not allocate, so the ceiling pins
+	// materialization + key build + 1 slack.
+	const ceiling = 26
+	if allocs > ceiling {
+		t.Fatalf("dedup-hit intern path allocates %.1f/op, ceiling %d", allocs, ceiling)
+	}
+}
+
+// TestAllocsConfigHash pins Config.Hash on a cold configuration: one
+// binary-key materialization plus the buffer and changed-state field
+// builds, nothing proportional to the untouched states.
+func TestAllocsConfigHash(t *testing.T) {
+	pr, c, e := internFixture(t)
+	allocs := testing.AllocsPerRun(200, func() {
+		nc := model.MustApply(pr, c, e)
+		nc.Hash()
+	})
+	const ceiling = 26
+	if allocs > ceiling {
+		t.Fatalf("cold Config.Hash path allocates %.1f/op, ceiling %d", allocs, ceiling)
+	}
+}
+
+// TestAllocsInternKey pins the wire-key dedup path used by the distributed
+// engine's visited-set shards: a fingerprint-plus-string lookup against an
+// interner that has already seen the key must not allocate at all.
+func TestAllocsInternKey(t *testing.T) {
+	pr, c, e := internFixture(t)
+	nc := model.MustApply(pr, c, e)
+	h, key := nc.Hash(), nc.Key()
+	it := model.NewInterner()
+	it.InternKey(h, key)
+	allocs := testing.AllocsPerRun(200, func() {
+		it.InternKey(h, key)
+	})
+	if allocs != 0 {
+		t.Fatalf("dedup-hit InternKey allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkApplyOnly(b *testing.B) {
+	pr, c, e := internFixture(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		model.MustApply(pr, c, e)
+	}
+}
+
+func BenchmarkConfigHash(b *testing.B) {
+	pr, c, e := internFixture(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nc := model.MustApply(pr, c, e)
+		nc.Hash()
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	pr, c, e := internFixture(b)
+	it := model.NewInterner()
+	it.Intern(model.MustApply(pr, c, e))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nc := model.MustApply(pr, c, e)
+		it.Intern(nc)
+	}
+}

@@ -89,6 +89,12 @@ func (b *Buffer) Equal(o *Buffer) bool { return b.ms.Equal(o.ms) }
 // Key returns the canonical encoding of the buffer contents.
 func (b *Buffer) Key() string { return b.ms.Key() }
 
+// AppendKey appends the canonical encoding to dst; byte-identical to Key.
+func (b *Buffer) AppendKey(dst []byte) []byte { return b.ms.AppendKey(dst) }
+
+// KeyLen returns len(Key()) without building the encoding.
+func (b *Buffer) KeyLen() int { return b.ms.KeyLen() }
+
 // String renders the buffer for traces and debugging.
 func (b *Buffer) String() string {
 	if b.Len() == 0 {

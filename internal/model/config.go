@@ -1,6 +1,8 @@
 package model
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -12,15 +14,41 @@ import (
 // process together with the contents of the message buffer. Configurations
 // are immutable once constructed; Apply produces new configurations.
 //
-// The canonical key and the 64-bit fingerprint are computed lazily and
-// cached through atomics, so a Config may be shared freely across
-// goroutines (the parallel explorer does). Concurrent computations of the
-// same key are idempotent; the last store wins and all stores are equal.
+// A configuration has two canonical encodings of the same field sequence
+// (one key per process state, then the buffer key):
+//
+//   - KeyBytes, the binary form: every field length-prefixed with a
+//     uvarint. This is the identity the hot path runs on — the interner
+//     compares it with bytes.Equal and the fingerprint is the FNV-1a hash
+//     of exactly these bytes. No escaping, no intermediate strings.
+//   - Key, the string form: every field escaped with enc.Escape and
+//     '|'-terminated. This is the human-readable debug and wire view —
+//     traces, fixtures, and the distexplore protocol carry it unchanged.
+//
+// Both encodings are injective over the field sequence, so they induce the
+// same equality partition; HashKey recovers the binary fingerprint from the
+// string form, which keeps c.Hash() == HashKey(c.Key()) — the contract
+// hash-range sharding rests on.
+//
+// Keys and the fingerprint are computed lazily and cached through atomics,
+// so a Config may be shared freely across goroutines (the parallel explorer
+// does). Concurrent computations of the same key are idempotent; the last
+// store wins and all stores are equal.
 type Config struct {
 	states []State
 	buf    *Buffer
-	key    atomic.Pointer[string] // lazily computed canonical key
+	key    atomic.Pointer[string] // lazily computed canonical key (string view)
+	bkey   atomic.Pointer[[]byte] // lazily computed binary canonical key
 	hash   atomic.Uint64          // lazily computed fingerprint; 0 = unset
+
+	// Incremental-key hints, set by withStep when the parent's binary key
+	// was already materialized: exactly one state field (parentP) and the
+	// buffer field differ from parentKey, so KeyBytes copies every other
+	// field verbatim instead of rebuilding N state keys. parentKey is the
+	// parent's flat key buffer, not the parent Config — no ancestor chain
+	// is retained through it.
+	parentKey []byte
+	parentP   int32
 }
 
 // Initial returns the initial configuration of pr for the given input
@@ -123,9 +151,12 @@ func (c *Config) DecidedCount() int {
 	return n
 }
 
-// Key returns the canonical encoding of the configuration. Two
-// configurations represent the same system state iff their keys are equal.
-// Key is safe for concurrent use.
+// Key returns the canonical string encoding of the configuration: every
+// field escaped and '|'-terminated. Two configurations represent the same
+// system state iff their keys are equal. This is the debug and wire view —
+// the binary KeyBytes carries the same identity without the escaping cost,
+// and is what the exploration hot path uses. Key is safe for concurrent
+// use.
 func (c *Config) Key() string {
 	if k := c.key.Load(); k != nil {
 		return *k
@@ -138,6 +169,107 @@ func (c *Config) Key() string {
 	k := b.String()
 	c.key.Store(&k)
 	return k
+}
+
+// KeyBytes returns the binary canonical key of the configuration: each
+// field (one per process state, then the buffer key) length-prefixed with a
+// uvarint. The encoding is injective — length prefixes delimit fields
+// unambiguously — so KeyBytes equality coincides exactly with Key equality.
+// The returned slice is cached and must not be modified. KeyBytes is safe
+// for concurrent use.
+func (c *Config) KeyBytes() []byte {
+	if p := c.bkey.Load(); p != nil {
+		return *p
+	}
+	b := c.buildKeyBytes()
+	c.bkey.Store(&b)
+	return b
+}
+
+// AppendKey appends the binary canonical key of the configuration to dst
+// and returns the extended slice. When the key is already cached this is a
+// single copy; otherwise the key is materialized (and cached) first.
+func (c *Config) AppendKey(dst []byte) []byte {
+	return append(dst, c.KeyBytes()...)
+}
+
+// appendKeyField appends one length-prefixed field of a binary key.
+func appendKeyField(dst []byte, field string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(field)))
+	return append(dst, field...)
+}
+
+// uvarintLen returns the encoded size of binary.AppendUvarint(nil, v).
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// buildKeyBytes materializes the binary key, preferring the incremental
+// path: when the parent's key is available, every state field except the
+// stepped process is copied verbatim and only the changed state and the
+// buffer are re-encoded.
+func (c *Config) buildKeyBytes() []byte {
+	bufLen := c.buf.KeyLen()
+	if c.parentKey != nil {
+		if b, ok := c.keyBytesFromParent(bufLen); ok {
+			return b
+		}
+	}
+	var scratch [8]string
+	fields := scratch[:0]
+	for _, s := range c.states {
+		fields = append(fields, s.Key())
+	}
+	size := uvarintLen(uint64(bufLen)) + bufLen
+	for _, f := range fields {
+		size += uvarintLen(uint64(len(f))) + len(f)
+	}
+	b := make([]byte, 0, size)
+	for _, f := range fields {
+		b = appendKeyField(b, f)
+	}
+	b = binary.AppendUvarint(b, uint64(bufLen))
+	b = c.buf.AppendKey(b)
+	return b
+}
+
+// keyBytesFromParent assembles the binary key from the parent's: fields
+// before and after the stepped process are byte ranges of parentKey; only
+// the stepped state's key and the buffer key are rebuilt. ok=false on a
+// malformed parent key (never produced by this package), falling back to
+// the full build.
+func (c *Config) keyBytesFromParent(bufLen int) ([]byte, bool) {
+	pk, p, n := c.parentKey, int(c.parentP), len(c.states)
+	// Walk the n state fields, recording the stepped field's byte span.
+	off, pStart, pEnd := 0, -1, -1
+	for i := 0; i < n; i++ {
+		l, un := binary.Uvarint(pk[off:])
+		if un <= 0 || off+un+int(l) > len(pk) {
+			return nil, false
+		}
+		if i == p {
+			pStart, pEnd = off, off+un+int(l)
+		}
+		off += un + int(l)
+	}
+	if pStart < 0 || off > len(pk) {
+		return nil, false
+	}
+	newField := c.states[p].Key()
+	size := pStart + uvarintLen(uint64(len(newField))) + len(newField) +
+		(off - pEnd) + uvarintLen(uint64(bufLen)) + bufLen
+	b := make([]byte, 0, size)
+	b = append(b, pk[:pStart]...)
+	b = appendKeyField(b, newField)
+	b = append(b, pk[pEnd:off]...)
+	b = binary.AppendUvarint(b, uint64(bufLen))
+	b = c.buf.AppendKey(b)
+	return b, true
 }
 
 // FNV-1a constants, used for the configuration fingerprint.
@@ -154,18 +286,26 @@ func fnvString(h uint64, s string) uint64 {
 	return h
 }
 
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // Hash returns a 64-bit fingerprint of the configuration: the FNV-1a hash
-// of its canonical key. Equal configurations always have equal hashes;
-// unequal configurations collide only with fingerprint probability, and
-// every user of the hash (Equal, Interner, the explorer's visited set)
-// confirms candidate matches against the full canonical key, so a
-// collision can never conflate two distinct system states. Hash is cached
-// and safe for concurrent use.
+// of its binary canonical key. Equal configurations always have equal
+// hashes; unequal configurations collide only with fingerprint
+// probability, and every user of the hash (Equal, Interner, the explorer's
+// visited set) confirms candidate matches against the full canonical key,
+// so a collision can never conflate two distinct system states. Hash is
+// cached and safe for concurrent use.
 func (c *Config) Hash() uint64 {
 	if h := c.hash.Load(); h != 0 {
 		return h
 	}
-	h := fnvString(fnvOffset64, c.Key())
+	h := fnvBytes(fnvOffset64, c.KeyBytes())
 	if h == 0 {
 		h = fnvOffset64 // reserve 0 as the "unset" sentinel
 	}
@@ -174,8 +314,9 @@ func (c *Config) Hash() uint64 {
 }
 
 // Equal reports whether two configurations are the same system state. The
-// cached fingerprints are compared first; the canonical keys settle the
-// (vanishingly rare) fingerprint collisions.
+// cached fingerprints are compared first; the binary canonical keys settle
+// the (vanishingly rare) fingerprint collisions with a bytes.Equal — no
+// string is ever built here.
 func (c *Config) Equal(o *Config) bool {
 	if c == o {
 		return true
@@ -183,7 +324,7 @@ func (c *Config) Equal(o *Config) bool {
 	if c.Hash() != o.Hash() {
 		return false
 	}
-	return c.Key() == o.Key()
+	return bytes.Equal(c.KeyBytes(), o.KeyBytes())
 }
 
 // String renders the configuration compactly for traces.
@@ -202,6 +343,10 @@ func (c *Config) String() string {
 
 // withStep returns the configuration that results from replacing process
 // p's state and updating the buffer. Internal constructor used by Apply.
+// When the parent's binary key is already materialized (every frontier
+// node's is by the time it is expanded), the child records it plus the
+// stepped process, so its own key build copies the unchanged state fields
+// instead of recomputing them.
 func (c *Config) withStep(p PID, ns State, remove *Message, sends []Message) *Config {
 	states := make([]State, len(c.states))
 	copy(states, c.states)
@@ -213,5 +358,9 @@ func (c *Config) withStep(p PID, ns State, remove *Message, sends []Message) *Co
 	for _, m := range sends {
 		buf.Send(m)
 	}
-	return &Config{states: states, buf: buf}
+	nc := &Config{states: states, buf: buf}
+	if pk := c.bkey.Load(); pk != nil {
+		nc.parentKey, nc.parentP = *pk, int32(p)
+	}
+	return nc
 }

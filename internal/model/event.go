@@ -72,11 +72,14 @@ func Applicable(c *Config, e Event) bool {
 // copies of a message are interchangeable under multiset semantics, so one
 // event per distinct message is exhaustive.
 func Events(c *Config) []Event {
-	var evs []Event
+	msgs := c.Buffer().Messages()
+	evs := make([]Event, 0, c.N()+len(msgs))
 	for p := 0; p < c.N(); p++ {
 		evs = append(evs, NullEvent(PID(p)))
-		for _, m := range c.Buffer().MessagesTo(PID(p)) {
-			evs = append(evs, Deliver(m))
+		for i := range msgs {
+			if int(msgs[i].To) == p {
+				evs = append(evs, Event{P: PID(p), Msg: &msgs[i]})
+			}
 		}
 	}
 	return evs
@@ -84,10 +87,13 @@ func Events(c *Config) []Event {
 
 // DeliveryEvents enumerates only the message-delivery events of c.
 func DeliveryEvents(c *Config) []Event {
-	var evs []Event
+	msgs := c.Buffer().Messages()
+	evs := make([]Event, 0, len(msgs))
 	for p := 0; p < c.N(); p++ {
-		for _, m := range c.Buffer().MessagesTo(PID(p)) {
-			evs = append(evs, Deliver(m))
+		for i := range msgs {
+			if int(msgs[i].To) == p {
+				evs = append(evs, Event{P: PID(p), Msg: &msgs[i]})
+			}
 		}
 	}
 	return evs

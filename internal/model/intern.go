@@ -1,27 +1,41 @@
 package model
 
-import "sync"
+import (
+	"bytes"
+	"sync"
+)
 
 // internShardCount is the number of independently locked shards of an
 // Interner. It is a power of two so shard selection is a mask of the
 // fingerprint's low bits.
 const internShardCount = 64
 
+// internArenaChunk is the allocation unit of a shard's key arena. Interned
+// keys are copied into these chunks back to back, so a visited set of a
+// million configurations costs a few thousand allocations of key storage
+// rather than a million.
+const internArenaChunk = 1 << 16
+
 // Interner assigns stable small integer identities to configurations: two
 // configurations receive the same ID iff they are Equal. Identity is
 // resolved by the 64-bit configuration fingerprint with every candidate
-// match confirmed against the full canonical key, so fingerprint
-// collisions cost a string comparison, never correctness.
+// match confirmed against the full binary canonical key, so fingerprint
+// collisions cost a bytes.Equal, never correctness.
 //
 // The interner is the explorer's visited set: Intern reports whether the
-// configuration was fresh (seen for the first time), replacing the hot
-// per-lookup hashing of long canonical-key strings with cached 64-bit
-// fingerprints.
+// configuration was fresh (seen for the first time). Keys are the compact
+// binary form (Config.KeyBytes) — no canonical-key strings are built or
+// compared anywhere on this path.
 //
 // Interner is safe for concurrent use; the table is sharded by fingerprint
 // so that concurrent interning of unrelated configurations rarely contends
 // on a lock. IDs are unique across shards and reflect interning order only
 // within a shard.
+//
+// One interner holds one key namespace: entries made by Intern/InternTag
+// carry binary keys, entries made by InternKey carry wire-form string
+// keys. The two encodings of one configuration are different byte strings,
+// so never mix the two styles in a single interner.
 type Interner struct {
 	shards [internShardCount]internShard
 }
@@ -30,41 +44,75 @@ type internShard struct {
 	mu      sync.Mutex
 	buckets map[uint64][]internEntry
 	count   uint64
+	arena   []byte
 }
 
 type internEntry struct {
-	key string
+	key []byte
 	id  uint64
 	tag uint64
 }
 
-// NewInterner returns an empty interner.
-func NewInterner() *Interner {
-	it := &Interner{}
-	for i := range it.shards {
-		it.shards[i].buckets = make(map[uint64][]internEntry)
+// NewInterner returns an empty interner. Shard tables are allocated on
+// first insertion, so short-lived interners (one per budgeted Classify,
+// for example) cost almost nothing until they see configurations.
+func NewInterner() *Interner { return &Interner{} }
+
+// lookupLocked scans the shard's bucket for key; sh.mu must be held.
+func (sh *internShard) lookupLocked(h uint64, key []byte) (internEntry, bool) {
+	for _, e := range sh.buckets[h] {
+		if bytes.Equal(e.key, key) {
+			return e, true
+		}
 	}
-	return it
+	return internEntry{}, false
+}
+
+// insertLocked adds an entry under h, assigning its interner-wide unique
+// id; sh.mu must be held.
+func (sh *internShard) insertLocked(h uint64, key []byte, tag uint64) internEntry {
+	if sh.buckets == nil {
+		sh.buckets = make(map[uint64][]internEntry)
+	}
+	e := internEntry{key: key, id: sh.count*internShardCount + h&(internShardCount-1), tag: tag}
+	sh.count++
+	sh.buckets[h] = append(sh.buckets[h], e)
+	return e
+}
+
+// copyToArena stores one key's bytes in the shard arena and returns the
+// stable sub-slice. The tail of a chunk too small for the next key is
+// abandoned — bounded waste for allocation-free steady state.
+func (sh *internShard) copyToArena(key string) []byte {
+	if cap(sh.arena)-len(sh.arena) < len(key) {
+		size := internArenaChunk
+		if len(key) > size {
+			size = len(key)
+		}
+		sh.arena = make([]byte, 0, size)
+	}
+	off := len(sh.arena)
+	sh.arena = append(sh.arena, key...)
+	return sh.arena[off:len(sh.arena):len(sh.arena)]
 }
 
 // Intern returns the ID of c, assigning a fresh one if c was never seen
 // before. fresh reports whether this call was the first to intern a
 // configuration Equal to c.
+//
+// A fresh entry aliases c's cached binary key rather than copying it: the
+// explorer retains every first-seen configuration anyway, so the visited
+// set stores each key exactly once.
 func (it *Interner) Intern(c *Config) (id uint64, fresh bool) {
 	h := c.Hash()
+	key := c.KeyBytes()
 	sh := &it.shards[h&(internShardCount-1)]
-	key := c.Key()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	for _, e := range sh.buckets[h] {
-		if e.key == key {
-			return e.id, false
-		}
+	if e, ok := sh.lookupLocked(h, key); ok {
+		return e.id, false
 	}
-	id = sh.count*internShardCount + h&(internShardCount-1)
-	sh.count++
-	sh.buckets[h] = append(sh.buckets[h], internEntry{key: key, id: id})
-	return id, true
+	return sh.insertLocked(h, key, 0).id, true
 }
 
 // InternTag is Intern with a caller-supplied auxiliary value: when c is
@@ -79,32 +127,61 @@ func (it *Interner) Intern(c *Config) (id uint64, fresh bool) {
 // tag namespace rather than mixing the two styles.
 func (it *Interner) InternTag(c *Config, tag uint64) (got uint64, fresh bool) {
 	h := c.Hash()
+	key := c.KeyBytes()
 	sh := &it.shards[h&(internShardCount-1)]
-	key := c.Key()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.lookupLocked(h, key); ok {
+		return e.tag, false
+	}
+	sh.insertLocked(h, key, tag)
+	return tag, true
+}
+
+// InternKey interns by precomputed fingerprint and wire-form canonical key
+// string, for holders of transmitted keys with no Config to materialize —
+// the distributed explorer's visited-set shards dedup exactly this way. A
+// dedup hit costs zero allocations (the incoming string is compared
+// in place against the stored bytes); a fresh key is copied into the
+// shard's arena.
+//
+// h must be HashKey(key). Keys interned here are a different namespace
+// from Intern/InternTag's binary keys — use a dedicated interner.
+func (it *Interner) InternKey(h uint64, key string) (id uint64, fresh bool) {
+	sh := &it.shards[h&(internShardCount-1)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for _, e := range sh.buckets[h] {
-		if e.key == key {
-			return e.tag, false
+		if equalBytesString(e.key, key) {
+			return e.id, false
 		}
 	}
-	id := sh.count*internShardCount + h&(internShardCount-1)
-	sh.count++
-	sh.buckets[h] = append(sh.buckets[h], internEntry{key: key, id: id, tag: tag})
-	return tag, true
+	return sh.insertLocked(h, sh.copyToArena(key), 0).id, true
+}
+
+// equalBytesString is bytes.Equal against a string without converting
+// either side.
+func equalBytesString(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		if b[i] != s[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Tag returns the auxiliary value recorded for c by InternTag.
 func (it *Interner) Tag(c *Config) (tag uint64, ok bool) {
 	h := c.Hash()
+	key := c.KeyBytes()
 	sh := &it.shards[h&(internShardCount-1)]
-	key := c.Key()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	for _, e := range sh.buckets[h] {
-		if e.key == key {
-			return e.tag, true
-		}
+	if e, found := sh.lookupLocked(h, key); found {
+		return e.tag, true
 	}
 	return 0, false
 }
@@ -112,14 +189,12 @@ func (it *Interner) Tag(c *Config) (tag uint64, ok bool) {
 // Lookup returns the ID of c if it has been interned.
 func (it *Interner) Lookup(c *Config) (id uint64, ok bool) {
 	h := c.Hash()
+	key := c.KeyBytes()
 	sh := &it.shards[h&(internShardCount-1)]
-	key := c.Key()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	for _, e := range sh.buckets[h] {
-		if e.key == key {
-			return e.id, true
-		}
+	if e, found := sh.lookupLocked(h, key); found {
+		return e.id, true
 	}
 	return 0, false
 }

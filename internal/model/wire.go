@@ -28,19 +28,82 @@ const maxWirePID = 1 << 20
 // maxWireLen bounds decoded string and slice lengths, for the same reason.
 const maxWireLen = 1 << 28
 
-// HashKey returns the 64-bit fingerprint of a canonical configuration key:
-// the FNV-1a hash with zero reserved as "unset". It is the stable hash
-// contract of the model — for every configuration c,
+// HashKey returns the 64-bit fingerprint of a canonical configuration key
+// in its string (wire) form. It is the stable hash contract of the model —
+// for every configuration c,
 //
 //	c.Hash() == HashKey(c.Key())
 //
 // so any party holding only the canonical key (a remote visited-set shard,
 // for example) routes and buckets exactly like a party holding the
 // configuration. TestHashKeyContract pins this.
+//
+// The fingerprint is the FNV-1a hash of the *binary* canonical key
+// (uvarint-length-prefixed raw fields), which the string form determines
+// exactly: escaped fields contain no '|', so every '|' is a field
+// terminator, and unescaping recovers the raw field bytes. HashKey streams
+// that decoding — per field it hashes the uvarint of the unescaped length,
+// then the unescaped bytes — without allocating.
 func HashKey(key string) uint64 {
-	h := fnvString(fnvOffset64, key)
+	h := fnvOffset64
+	for start := 0; start < len(key); {
+		end := start
+		for end < len(key) && key[end] != '|' {
+			end++
+		}
+		if end == len(key) && end == start {
+			break // trailing terminator: not a field
+		}
+		h = fnvKeyField(h, key[start:end])
+		start = end + 1
+	}
 	if h == 0 {
 		h = fnvOffset64
+	}
+	return h
+}
+
+// fnvKeyField folds one escaped field into the binary-key FNV stream:
+// uvarint of the unescaped length, then the unescaped bytes. Unescaping
+// inverts enc.Escape ("\\"→'\\', "\p"→'|', "\c"→','); a malformed trailing
+// backslash is hashed literally, keeping HashKey total and deterministic on
+// arbitrary input.
+func fnvKeyField(h uint64, f string) uint64 {
+	n := len(f)
+	for i := 0; i < len(f); i++ {
+		if f[i] == '\\' && i+1 < len(f) {
+			n--
+			i++
+		}
+	}
+	// Inline uvarint encoding of n into the hash stream.
+	for v := uint64(n); ; {
+		b := byte(v)
+		v >>= 7
+		if v != 0 {
+			b |= 0x80
+		}
+		h ^= uint64(b)
+		h *= fnvPrime64
+		if v == 0 {
+			break
+		}
+	}
+	for i := 0; i < len(f); i++ {
+		c := f[i]
+		if c == '\\' && i+1 < len(f) {
+			i++
+			switch f[i] {
+			case 'p':
+				c = '|'
+			case 'c':
+				c = ','
+			default: // '\\' and any unknown escape: the escaped byte itself
+				c = f[i]
+			}
+		}
+		h ^= uint64(c)
+		h *= fnvPrime64
 	}
 	return h
 }

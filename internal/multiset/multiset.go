@@ -11,7 +11,7 @@ package multiset
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 )
 
 // Multiset is a multiset of strings. The zero value is empty and ready to
@@ -116,12 +116,51 @@ func (m *Multiset) Equal(o *Multiset) bool {
 // order, each with its multiplicity. Two multisets are Equal iff their Keys
 // are identical.
 func (m *Multiset) Key() string {
-	es := m.Elements()
-	var sb strings.Builder
-	for _, s := range es {
-		fmt.Fprintf(&sb, "%dx%s;", m.counts[s], s)
+	return string(m.AppendKey(make([]byte, 0, m.KeyLen())))
+}
+
+// AppendKey appends the canonical encoding ("countxelem;" per element,
+// elements sorted) to dst and returns the extended slice. Byte-identical to
+// Key; exists so callers embedding the encoding in a larger buffer can skip
+// the string materialization.
+func (m *Multiset) AppendKey(dst []byte) []byte {
+	// Sort the distinct elements in a stack scratch when they fit, so the
+	// hot key-building path does not allocate for the element list.
+	var scratch [24]string
+	es := scratch[:0]
+	if len(m.counts) > cap(scratch) {
+		es = make([]string, 0, len(m.counts))
 	}
-	return sb.String()
+	for s := range m.counts {
+		es = append(es, s)
+	}
+	sort.Strings(es)
+	for _, s := range es {
+		dst = strconv.AppendInt(dst, int64(m.counts[s]), 10)
+		dst = append(dst, 'x')
+		dst = append(dst, s...)
+		dst = append(dst, ';')
+	}
+	return dst
+}
+
+// KeyLen returns len(Key()) without building the encoding.
+func (m *Multiset) KeyLen() int {
+	n := 0
+	for s, c := range m.counts {
+		n += decimalLen(c) + 1 + len(s) + 1
+	}
+	return n
+}
+
+// decimalLen returns the number of decimal digits of non-negative n.
+func decimalLen(n int) int {
+	d := 1
+	for n >= 10 {
+		n /= 10
+		d++
+	}
+	return d
 }
 
 // String implements fmt.Stringer for debugging output.
