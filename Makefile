@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-short test-dist test-chaos test-serve serve fuzz fuzz-conformance corpus bench bench-parallel bench-valency bench-serve bench-scaling bench-alloc vet
+.PHONY: all build test test-race test-short test-dist test-chaos test-serve test-store serve fuzz fuzz-conformance corpus bench bench-parallel bench-valency bench-serve bench-scaling bench-store bench-alloc vet
 
 all: build test
 
@@ -41,6 +41,15 @@ test-short:
 test-serve:
 	$(GO) test -race -count=1 ./internal/serve ./internal/keyedcache ./internal/promtext
 	$(GO) test -race -run 'TestAtlasCache|TestTryWarmSharesBuilds' -count=1 ./internal/explore
+
+# The persistent atlas store under the race detector: format round-trips,
+# corruption recovery (mangled-artifact table + byte-flip sweep), the
+# store-vs-fresh differential suite, frontier resume, and the serving
+# layer's restart-hit contract.
+test-store:
+	$(GO) test -race -count=1 ./internal/atlasstore
+	$(GO) test -race -count=1 -run 'TestAtlasBuilder|TestLoadAtlas|TestAtlasCacheBackend' ./internal/explore
+	$(GO) test -race -count=1 -run 'TestServerAtlasDir|TestServerWithoutAtlasDir' ./internal/serve
 
 # Run exploration-as-a-service locally (ctrl-C drains gracefully).
 serve:
@@ -91,6 +100,14 @@ bench-serve:
 # the real numbers (SCALEFLAGS=-smoke for the quick variant).
 bench-scaling:
 	$(GO) run ./cmd/flpbench -experiment E23 $(SCALEFLAGS)
+
+# The persistent-store guardrail: cold build-and-persist vs warm
+# single-read load vs frontier resume, written to BENCH_atlasstore.json
+# (warm must beat cold by ≥5x on the E2 kernel; incremental rows pin that
+# resume re-expands nothing). STOREFLAGS=-smoke drops the wide-frontier
+# onethird kernel for quick CI legs.
+bench-store:
+	$(GO) run ./cmd/flpbench -experiment E24 $(STOREFLAGS)
 
 # The allocation guardrail: the AllocsPerRun pins plus the hot-path
 # benchmarks the EXPERIMENTS.md numbers are regenerated from.

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"github.com/flpsim/flp"
+	"github.com/flpsim/flp/internal/atlasstore"
 	"github.com/flpsim/flp/internal/conformance"
 	"github.com/flpsim/flp/internal/distexplore"
 	"github.com/flpsim/flp/internal/explore"
@@ -41,6 +42,7 @@ func main() {
 		genseed    = flag.Uint64("genseed", 0, "check the generated protocol Derive(seed, DefaultDials(n)) instead of -protocol (0 = off)")
 		genspec    = flag.String("genspec", "", "check a generated protocol by its full gen: name (replays fuzzer reproducers; overrides -protocol and -n)")
 		conf       = flag.Bool("conformance", false, "run the cross-engine conformance harness on the selected protocol and exit")
+		atlasDir   = flag.String("atlas-dir", "", "directory for the persistent atlas store: the Lemma 2 census loads/persists its valency atlases there, so repeat runs skip exploration ('' = off)")
 		list       = flag.Bool("list", false, "list available protocols and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -85,7 +87,24 @@ func main() {
 		runConformance(*name, pr.N(), *budget)
 		return
 	}
-	runLemma2(pr, opt, unbounded)
+	var (
+		atlases *explore.AtlasCache
+		store   *atlasstore.Store
+	)
+	if *atlasDir != "" {
+		store, err = atlasstore.Open(*atlasDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		atlases = explore.NewAtlasCache()
+		atlases.SetBackend(store)
+	}
+	runLemma2(pr, opt, unbounded, atlases)
+	if store != nil {
+		st := store.Stats()
+		fmt.Printf("  atlas store (%s): %d hits, %d misses, %d resumes, %d refused\n\n",
+			*atlasDir, st.Hits, st.Misses, st.Resumes, st.Refused)
+	}
 	if !unbounded {
 		fmt.Println("== Lemma 2 proof walk: adjacent univalent pairs ==")
 		runLemma2Proof(pr, opt)
@@ -199,7 +218,7 @@ func clusterEndpoints(spec string) (distexplore.Transport, []string, func(), err
 	return distexplore.TCP{}, strings.Split(spec, ","), func() {}, nil
 }
 
-func runLemma2(pr flp.Protocol, opt flp.CheckOptions, unbounded bool) {
+func runLemma2(pr flp.Protocol, opt flp.CheckOptions, unbounded bool, atlases *explore.AtlasCache) {
 	fmt.Println("== Lemma 2: initial configuration valencies ==")
 	for _, in := range flp.AllInputs(pr.N()) {
 		c, err := flp.Initial(pr, in)
@@ -207,9 +226,17 @@ func runLemma2(pr flp.Protocol, opt flp.CheckOptions, unbounded bool) {
 			fatalf("%v", err)
 		}
 		var info flp.ValencyInfo
-		if unbounded {
+		switch {
+		case unbounded:
 			info = flp.ClassifySmart(pr, c, flp.CheckOptions{MaxConfigs: 2000, Workers: opt.Workers}, flp.ProbeOptions{})
-		} else {
+		case atlases != nil:
+			// Store-backed path: the atlas is loaded from -atlas-dir when
+			// persisted (or built and persisted), with automatic per-config
+			// fallback on refusal. Valencies and exactness are identical to
+			// flp.Classify; the explored-configuration count reports the
+			// full atlas size rather than an early-exit BFS's visit count.
+			info = explore.ClassifyRootCached(pr, c, opt, atlases)
+		default:
 			info = flp.Classify(pr, c, opt)
 		}
 		exact := ""

@@ -32,13 +32,18 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:8080", "address to serve on")
-		pool   = flag.Int("pool", 2, "job pool size (queries executing concurrently)")
-		depth  = flag.Int("queue", 64, "admission queue depth (waiting jobs beyond this get 503)")
+		listen   = flag.String("listen", "127.0.0.1:8080", "address to serve on")
+		pool     = flag.Int("pool", 2, "job pool size (queries executing concurrently)")
+		depth    = flag.Int("queue", 64, "admission queue depth (waiting jobs beyond this get 503)")
+		atlasDir = flag.String("atlas-dir", "", "directory for the persistent atlas store; atlases survive restarts ('' = memory-only cache)")
 	)
 	flag.Parse()
 
-	s := serve.New(serve.Options{Workers: *pool, QueueDepth: *depth})
+	s, err := serve.New(serve.Options{Workers: *pool, QueueDepth: *depth, AtlasDir: *atlasDir})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flpserve: %v\n", err)
+		os.Exit(1)
+	}
 	hs := &http.Server{Addr: *listen, Handler: s.Handler()}
 
 	// SIGINT/SIGTERM: stop admitting, finish or cancel jobs, flush

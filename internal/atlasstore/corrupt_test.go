@@ -1,0 +1,182 @@
+package atlasstore_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/flpsim/flp/internal/atlasstore"
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+)
+
+// seedArtifact builds one complete artifact in a fresh store directory
+// and returns the store dir, the artifact path, and the expected atlas
+// size.
+func seedArtifact(t *testing.T) (dir, path string, wantLen int) {
+	t.Helper()
+	pr, root := fixture(t)
+	dir = t.TempDir()
+	s := openStore(t, dir)
+	a, ok := s.GetAtlas(pr, root, explore.Options{MaxConfigs: testBudget})
+	if !ok {
+		t.Fatal("seeding GetAtlas refused a buildable atlas")
+	}
+	return dir, artifactPath(t, dir), a.Len()
+}
+
+// TestStoreCorruptionRecovery is the corruption-safety contract: for
+// every way an artifact can be damaged — truncation at any boundary, bit
+// flips anywhere from header to trailer, wrong magic, future version —
+// the store must detect it (never panic, never serve a wrong atlas), log
+// and delete the file, count it, and rebuild on the same request.
+func TestStoreCorruptionRecovery(t *testing.T) {
+	mangle := []struct {
+		name string
+		fn   func(b []byte) []byte
+	}{
+		{"empty file", func(b []byte) []byte { return nil }},
+		{"truncated header", func(b []byte) []byte { return b[:10] }},
+		{"truncated half", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"truncated one byte", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }},
+		{"future version", func(b []byte) []byte { b[8] = 0xEE; return b }},
+		{"flag bit flip", func(b []byte) []byte { b[12] ^= 0x01; return b }},
+		{"header count flip", func(b []byte) []byte { b[20] ^= 0x40; return b }},
+		{"early column bit flip", func(b []byte) []byte { b[len(b)/4] ^= 0x08; return b }},
+		{"mid column bit flip", func(b []byte) []byte { b[len(b)/2] ^= 0x80; return b }},
+		{"key table bit flip", func(b []byte) []byte { b[len(b)-len(b)/8] ^= 0x01; return b }},
+		{"checksum flip", func(b []byte) []byte { b[len(b)-1] ^= 0xFF; return b }},
+		{"appended garbage", func(b []byte) []byte { return append(b, 0xDE, 0xAD) }},
+		{"zeroed body", func(b []byte) []byte {
+			for i := 40; i < len(b)-4 && i < 200; i++ {
+				b[i] = 0
+			}
+			return b
+		}},
+	}
+	for _, m := range mangle {
+		t.Run(m.name, func(t *testing.T) {
+			dir, path, wantLen := seedArtifact(t)
+			pristine, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := append([]byte(nil), pristine...)
+			if err := os.WriteFile(path, m.fn(b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s := openStore(t, dir)
+			pr, root := fixture(t)
+			a, ok := s.GetAtlas(pr, root, explore.Options{MaxConfigs: testBudget})
+			if !ok {
+				t.Fatal("store failed to rebuild after corruption")
+			}
+			if a.Len() != wantLen {
+				t.Fatalf("rebuilt atlas has %d nodes, want %d", a.Len(), wantLen)
+			}
+			st := s.Stats()
+			if st.Corrupt != 1 {
+				t.Fatalf("stats = %+v, want exactly one corrupt detection", st)
+			}
+			if st.Misses != 1 {
+				t.Fatalf("stats = %+v, want the rebuild counted as a miss", st)
+			}
+			// The rebuilt artifact is whole again: a fresh store hits it.
+			s2 := openStore(t, dir)
+			if _, ok := s2.GetAtlas(pr, root, explore.Options{MaxConfigs: testBudget}); !ok {
+				t.Fatal("rebuilt artifact did not serve a warm load")
+			}
+			if st := s2.Stats(); st.Hits != 1 || st.Corrupt != 0 {
+				t.Fatalf("post-rebuild stats = %+v, want one clean hit", st)
+			}
+		})
+	}
+}
+
+// TestStoreCorruptionSweep flips every 97th byte position across the
+// whole artifact, one at a time: no single-bit flip anywhere may panic
+// or produce an atlas of the wrong size.
+func TestStoreCorruptionSweep(t *testing.T) {
+	dir, path, wantLen := seedArtifact(t)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, root := fixture(t)
+	for off := 0; off < len(pristine); off += 97 {
+		b := append([]byte(nil), pristine...)
+		b[off] ^= 0x10
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := atlasstore.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetLog(nil)
+		a, ok := s.GetAtlas(pr, root, explore.Options{MaxConfigs: testBudget})
+		if !ok || a.Len() != wantLen {
+			t.Fatalf("offset %d: rebuild after bit flip failed (ok=%v)", off, ok)
+		}
+		if st := s.Stats(); st.Corrupt != 1 {
+			t.Fatalf("offset %d: stats = %+v, want one corrupt detection", off, st)
+		}
+	}
+}
+
+// TestStoreForeignArtifact: an artifact whose header identity disagrees
+// with its content-addressed filename (e.g. copied between lineages) is
+// treated as corruption, not served.
+func TestStoreForeignArtifact(t *testing.T) {
+	pr, root := fixture(t)
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if _, ok := s.GetAtlas(pr, root, explore.Options{MaxConfigs: testBudget}); !ok {
+		t.Fatal("seeding GetAtlas refused")
+	}
+	src := artifactPath(t, dir)
+
+	// Request a different root: its lineage file does not exist, so copy
+	// the first artifact into that name.
+	other := model.MustInitial(pr, model.Inputs{1, 1, 1})
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := openStore(t, dir)
+	// Derive the foreign path by asking the store to build it, then
+	// overwrite with the mismatched artifact.
+	if _, ok := s2.GetAtlas(pr, other, explore.Options{MaxConfigs: testBudget}); !ok {
+		t.Fatal("building the second lineage refused")
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.atlas"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foreign string
+	for _, p := range matches {
+		if p != src {
+			foreign = p
+		}
+	}
+	if foreign == "" {
+		t.Fatal("second lineage produced no artifact")
+	}
+	if err := os.WriteFile(foreign, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s3 := openStore(t, dir)
+	a, ok := s3.GetAtlas(pr, other, explore.Options{MaxConfigs: testBudget})
+	if !ok {
+		t.Fatal("store failed to rebuild over a foreign artifact")
+	}
+	if gotRoot := a.Root(); !gotRoot.Equal(other) {
+		t.Fatal("store served an atlas for the wrong root")
+	}
+	if st := s3.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want the foreign artifact counted corrupt", st)
+	}
+}

@@ -1,0 +1,199 @@
+package atlasstore_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+	"github.com/flpsim/flp/internal/protogen"
+)
+
+// diffFixtureN mirrors the explore package's registry fixtures: every
+// registry protocol at its smallest valid size, so a newly registered
+// protocol fails here until it gets a fixture.
+var diffFixtureN = map[string]int{
+	"trivial0":      2,
+	"waitall":       3,
+	"naivemajority": 3,
+	"2pc":           3,
+	"3pc":           3,
+	"paxos":         3,
+	"benor":         2,
+	"onethird":      4,
+}
+
+const diffBudget = 3000
+
+// diffAtlases compares a store-served atlas against a fresh BuildAtlas
+// node by node: identical valencies, witness lengths, and dense-id
+// partitions.
+func diffAtlases(t *testing.T, ctx string, want, got *explore.Atlas) {
+	t.Helper()
+	if want.Len() != got.Len() || want.Edges() != got.Edges() {
+		t.Fatalf("%s: size differs: %d/%d nodes, %d/%d edges", ctx, want.Len(), got.Len(), want.Edges(), got.Edges())
+	}
+	for id := int32(0); id < int32(want.Len()); id++ {
+		if want.ValencyAt(id) != got.ValencyAt(id) {
+			t.Fatalf("%s node %d: valency %s fresh, %s stored", ctx, id, want.ValencyAt(id), got.ValencyAt(id))
+		}
+		for _, d := range []model.Value{model.V0, model.V1} {
+			wl, wok := want.WitnessLen(id, d)
+			gl, gok := got.WitnessLen(id, d)
+			if wok != gok || wl != gl {
+				t.Fatalf("%s node %d: witness length for %v differs: %d/%v vs %d/%v", ctx, id, d, wl, wok, gl, gok)
+			}
+		}
+		gid, ok := got.IDOf(want.Config(id))
+		if !ok || gid != id {
+			t.Fatalf("%s node %d: dense-id partition differs (got %d, ok=%v)", ctx, id, gid, ok)
+		}
+	}
+}
+
+// diffOneLineage runs the full differential for one (protocol, root):
+// cold build-through-store vs fresh BuildAtlas, then warm load vs fresh,
+// then resume-from-frontier (depth d, extend to d+k, complete) vs
+// one-shot — with refusal parity when the budget does not cover the
+// lineage.
+func diffOneLineage(t *testing.T, pr model.Protocol, root *model.Config, dir string) {
+	t.Helper()
+	opt := explore.Options{MaxConfigs: diffBudget}
+	want, wantOK := explore.BuildAtlas(pr, root, opt)
+
+	cold := openStore(t, dir)
+	a, ok := cold.GetAtlas(pr, root, opt)
+	if ok != wantOK {
+		t.Fatalf("store ok=%v, BuildAtlas ok=%v — complete-or-refused parity broken", ok, wantOK)
+	}
+	if !wantOK {
+		// Refusal parity must survive the persisted truncated artifact too.
+		if _, ok := openStore(t, dir).GetAtlas(pr, root, opt); ok {
+			t.Fatal("persisted truncated artifact turned a refusal into an atlas")
+		}
+		return
+	}
+	diffAtlases(t, "cold", want, a)
+
+	warm := openStore(t, dir)
+	b, ok := warm.GetAtlas(pr, root, opt)
+	if !ok {
+		t.Fatal("warm load refused")
+	}
+	if st := warm.Stats(); st.Hits != 1 {
+		t.Fatalf("warm stats = %+v, want a hit", st)
+	}
+	diffAtlases(t, "warm", want, b)
+
+	// Resume path: depth-truncate in a fresh dir, deepen, complete. A
+	// graph exhausted within the depth bound has no frontier to resume —
+	// the follow-up is then a warm hit instead.
+	dir2 := t.TempDir()
+	s := openStore(t, dir2)
+	dOpt := opt
+	dOpt.MaxDepth = 2
+	_, stD, err := s.Deepen(pr, root, dOpt)
+	if err != nil {
+		t.Fatalf("Deepen(d): %v", err)
+	}
+	s2 := openStore(t, dir2)
+	c, ok := s2.GetAtlas(pr, root, opt)
+	if !ok {
+		t.Fatal("resume-from-frontier refused a buildable atlas")
+	}
+	if st := s2.Stats(); stD.Complete && st.Hits != 1 {
+		t.Fatalf("stats = %+v, want a hit (graph exhausted within depth bound)", st)
+	} else if !stD.Complete && st.Resumes != 1 {
+		t.Fatalf("resume stats = %+v, want a resume", st)
+	}
+	diffAtlases(t, "resumed", want, c)
+}
+
+// TestStoreDifferentialRegistry sweeps every registry protocol.
+func TestStoreDifferentialRegistry(t *testing.T) {
+	for _, name := range protocols.Names() {
+		t.Run(name, func(t *testing.T) {
+			n, ok := diffFixtureN[name]
+			if !ok {
+				t.Fatalf("registry protocol %q has no fixture size; extend diffFixtureN", name)
+			}
+			factory, ok := protocols.Lookup(name)
+			if !ok {
+				t.Fatalf("registry lost protocol %q", name)
+			}
+			pr, err := factory(n)
+			if err != nil {
+				t.Fatalf("building %s(%d): %v", name, n, err)
+			}
+			// Two representative inputs per protocol keep the sweep fast;
+			// the explore-level differential already covers all inputs.
+			for _, inp := range []model.Inputs{model.UniformInputs(n, 0), mixedInputs(n)} {
+				diffOneLineage(t, pr, model.MustInitial(pr, inp), t.TempDir())
+			}
+		})
+	}
+}
+
+// TestStoreDifferentialProtogen samples generated protocols: the store
+// must agree with fresh builds on machine-minted semantics too, where
+// the self-describing gen: name is the whole protocol identity.
+func TestStoreDifferentialProtogen(t *testing.T) {
+	for _, seed := range []uint64{1, 5, 9, 13} {
+		sp := protogen.Derive(seed, protogen.DefaultDials(3))
+		pr := protogen.MustNew(sp)
+		t.Run(pr.Name(), func(t *testing.T) {
+			root := model.MustInitial(pr, mixedInputs(pr.N()))
+			diffOneLineage(t, pr, root, t.TempDir())
+		})
+	}
+}
+
+// TestStoreConcurrentLineage hammers one store with concurrent requests
+// for several lineages — run under -race, this is the concurrency-safety
+// check for the per-lineage locking and counters.
+func TestStoreConcurrentLineage(t *testing.T) {
+	pr := protocols.NewNaiveMajority(3)
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	s.SetLog(nil)
+	opt := explore.Options{MaxConfigs: diffBudget}
+
+	inputs := model.AllInputs(3)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				inp := inputs[(w+i)%len(inputs)]
+				root := model.MustInitial(pr, inp)
+				a, ok := s.GetAtlas(pr, root, opt)
+				if !ok || a.Len() == 0 {
+					errs <- "concurrent GetAtlas refused a buildable atlas"
+					return
+				}
+				if !a.Root().Equal(root) {
+					errs <- "concurrent GetAtlas returned the wrong lineage"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// mixedInputs returns the 0,1,1,... input vector used as the second
+// representative root.
+func mixedInputs(n int) model.Inputs {
+	in := make(model.Inputs, n)
+	for i := 1; i < n; i++ {
+		in[i] = 1
+	}
+	return in
+}

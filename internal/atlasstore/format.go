@@ -1,0 +1,403 @@
+// Package atlasstore is the disk-backed, content-addressed store behind
+// explore.AtlasCache: valency atlases persisted as flat binary artifacts
+// that load with one sequential read — no per-node decoding, no
+// re-exploration — and budget-truncated explorations persisted with their
+// frontier so a later, deeper request resumes where the artifact stopped
+// instead of re-expanding anything.
+//
+// This file is the artifact codec. The layout (DESIGN.md §9) is a fixed
+// header, an event dictionary, the struct-of-arrays node and edge columns
+// in little-endian fixed width, the dense-id → binary-canonical-key table,
+// and a CRC-32C trailer over everything preceding it. Decoding verifies
+// checksum, magic, and version before touching a single field, then
+// bounds-checks every cross-array index, so a truncated or bit-flipped
+// artifact is always an error — never a panic, never a wrong atlas.
+package atlasstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+)
+
+// magic identifies an atlas artifact; the trailing byte doubles as a
+// format generation so an old binary refuses a future layout outright.
+var magic = [8]byte{'F', 'L', 'P', 'A', 'T', 'L', 'S', 1}
+
+// formatVersion is the artifact layout version. Bump it whenever the
+// byte layout or any persisted semantic (key derivation, event encoding,
+// distance convention) changes; the store treats a mismatch like
+// corruption — delete and rebuild — so stale artifacts can never answer.
+const formatVersion uint32 = 1
+
+// flagComplete marks an artifact whose reachable set is exhausted; clear
+// means a truncated exploration persisted with its frontier for later
+// resume. flagDists marks the presence of the two backward-distance
+// columns — set on every complete artifact the store writes (the warm
+// load path needs them), and never without flagComplete.
+const (
+	flagComplete uint32 = 1 << 0
+	flagDists    uint32 = 1 << 1
+)
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// artifact is the decoded form: the identity fields the store resolves
+// requests against plus the exploration snapshot itself.
+type artifact struct {
+	ProtoName string
+	N         int
+	RootKey   []byte
+	Snap      *explore.AtlasSnapshot
+}
+
+// corruptError marks artifact damage the store responds to by deleting
+// and rebuilding (as opposed to I/O errors, which it only logs).
+type corruptError struct{ msg string }
+
+func (e *corruptError) Error() string { return "atlasstore: corrupt artifact: " + e.msg }
+
+func corruptf(format string, args ...any) error {
+	return &corruptError{msg: fmt.Sprintf(format, args...)}
+}
+
+// encodeArtifact renders an artifact to its on-disk bytes.
+func encodeArtifact(protoName string, n int, rootKey []byte, snap *explore.AtlasSnapshot) []byte {
+	// Event dictionary: every distinct via label across both event
+	// columns. parentVia[0] is the zero Event, so the null event for
+	// process 0 is always present — no sentinel index needed.
+	dict := make([]model.Event, 0, 16)
+	dictIdx := make(map[string]uint32)
+	indexOf := func(e model.Event) uint32 {
+		k := e.Key()
+		if i, ok := dictIdx[k]; ok {
+			return i
+		}
+		i := uint32(len(dict))
+		dict = append(dict, e)
+		dictIdx[k] = i
+		return i
+	}
+	parentViaIdx := make([]uint32, len(snap.ParentVia))
+	for i, e := range snap.ParentVia {
+		parentViaIdx[i] = indexOf(e)
+	}
+	succViaIdx := make([]uint32, len(snap.SuccVia))
+	for i, e := range snap.SuccVia {
+		succViaIdx[i] = indexOf(e)
+	}
+
+	var b []byte
+	b = append(b, magic[:]...)
+	b = binary.LittleEndian.AppendUint32(b, formatVersion)
+	var flags uint32
+	if snap.Complete {
+		flags |= flagComplete
+	}
+	hasDists := snap.Complete && len(snap.Dist0) == len(snap.Depth)
+	if hasDists {
+		flags |= flagDists
+	}
+	b = binary.LittleEndian.AppendUint32(b, flags)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(snap.Depth)))       // V
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(snap.SuccStart)-1)) // X
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(snap.SuccTo)))      // E
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(dict)))             // D
+	b = appendBytes(b, []byte(protoName))
+	b = binary.LittleEndian.AppendUint64(b, uint64(n))
+	b = appendBytes(b, rootKey)
+
+	for _, e := range dict {
+		if e.Msg == nil {
+			b = append(b, 0)
+			b = binary.LittleEndian.AppendUint64(b, uint64(int64(e.P)))
+		} else {
+			b = append(b, 1)
+			b = binary.LittleEndian.AppendUint64(b, uint64(int64(e.P)))
+			b = binary.LittleEndian.AppendUint64(b, uint64(int64(e.Msg.To)))
+			b = binary.LittleEndian.AppendUint64(b, uint64(int64(e.Msg.From)))
+			b = appendBytes(b, []byte(e.Msg.Body))
+		}
+	}
+
+	b = appendI32s(b, snap.Depth)
+	b = appendI32s(b, snap.Parent)
+	b = appendU32s(b, parentViaIdx)
+	b = appendI32s(b, snap.SuccStart)
+	b = appendI32s(b, snap.SuccTo)
+	b = appendU32s(b, succViaIdx)
+	if hasDists {
+		b = appendI32s(b, snap.Dist0)
+		b = appendI32s(b, snap.Dist1)
+	}
+
+	// Key table: V+1 cumulative offsets into one blob, then the blob.
+	b = binary.LittleEndian.AppendUint64(b, 0)
+	off := uint64(0)
+	for _, k := range snap.Keys {
+		off += uint64(len(k))
+		b = binary.LittleEndian.AppendUint64(b, off)
+	}
+	for _, k := range snap.Keys {
+		b = append(b, k...)
+	}
+
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+	return b
+}
+
+// decodeArtifact parses and validates on-disk bytes. Every failure is a
+// *corruptError; the caller (Store) logs, deletes, and rebuilds.
+func decodeArtifact(b []byte) (*artifact, error) {
+	if len(b) < len(magic)+4+4+4 {
+		return nil, corruptf("short file (%d bytes)", len(b))
+	}
+	body, trailer := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(trailer) {
+		return nil, corruptf("checksum mismatch")
+	}
+	r := &reader{b: body}
+	var m [8]byte
+	copy(m[:], r.bytes(8))
+	if r.err != nil || m != magic {
+		return nil, corruptf("bad magic")
+	}
+	if v := r.u32(); v != formatVersion {
+		return nil, corruptf("format version %d (want %d)", v, formatVersion)
+	}
+	flags := r.u32()
+	complete := flags&flagComplete != 0
+	hasDists := flags&flagDists != 0
+	if hasDists && !complete {
+		return nil, corruptf("distance columns on a truncated artifact")
+	}
+	V := r.count()
+	X := r.count()
+	E := r.count()
+	D := r.count()
+	protoName := string(r.blob())
+	n := r.count()
+	rootKey := r.blob()
+	if r.err != nil {
+		return nil, corruptf("truncated header")
+	}
+	if V == 0 || X > V || n <= 0 {
+		return nil, corruptf("implausible counts V=%d X=%d n=%d", V, X, n)
+	}
+
+	dict := make([]model.Event, D)
+	for i := range dict {
+		switch kind := r.u8(); kind {
+		case 0:
+			dict[i] = model.Event{P: model.PID(r.i64())}
+		case 1:
+			p := model.PID(r.i64())
+			to := model.PID(r.i64())
+			from := model.PID(r.i64())
+			body := string(r.blob())
+			msg := model.Message{To: to, From: from, Body: body}
+			dict[i] = model.Event{P: p, Msg: &msg}
+		default:
+			if r.err == nil {
+				return nil, corruptf("unknown event kind %d", kind)
+			}
+		}
+		if r.err != nil {
+			return nil, corruptf("truncated event dictionary")
+		}
+	}
+
+	depth := r.i32s(V)
+	parent := r.i32s(V)
+	parentViaIdx := r.u32s(V)
+	succStart := r.i32s(X + 1)
+	succTo := r.i32s(E)
+	succViaIdx := r.u32s(E)
+	var dist0, dist1 []int32
+	if hasDists {
+		dist0 = r.i32s(V)
+		dist1 = r.i32s(V)
+	}
+	keyOff := r.u64s(V + 1)
+	if r.err != nil {
+		return nil, corruptf("truncated columns")
+	}
+	blobLen := uint64(0)
+	if len(keyOff) > 0 {
+		blobLen = keyOff[V]
+	}
+	if blobLen > uint64(len(r.b)-r.off) {
+		return nil, corruptf("key blob overruns file")
+	}
+	keyBlob := r.bytes(int(blobLen))
+	if r.err != nil || r.off != len(r.b) {
+		return nil, corruptf("trailing or missing bytes")
+	}
+
+	keys := make([][]byte, V)
+	for i := range keys {
+		lo, hi := keyOff[i], keyOff[i+1]
+		if lo > hi || hi > blobLen {
+			return nil, corruptf("key offsets not monotonic")
+		}
+		keys[i] = keyBlob[lo:hi]
+	}
+	parentVia, err := viaColumn(parentViaIdx, dict)
+	if err != nil {
+		return nil, err
+	}
+	succVia, err := viaColumn(succViaIdx, dict)
+	if err != nil {
+		return nil, err
+	}
+	snap := &explore.AtlasSnapshot{
+		Depth: depth, Parent: parent, ParentVia: parentVia,
+		SuccStart: succStart, SuccTo: succTo, SuccVia: succVia,
+		Keys: keys, Complete: complete, Dist0: dist0, Dist1: dist1,
+	}
+	return &artifact{ProtoName: protoName, N: n, RootKey: rootKey, Snap: snap}, nil
+}
+
+// viaColumn resolves dictionary indices to events, bounds-checked.
+func viaColumn(idx []uint32, dict []model.Event) ([]model.Event, error) {
+	out := make([]model.Event, len(idx))
+	for i, j := range idx {
+		if int(j) >= len(dict) {
+			return nil, corruptf("event index %d out of dictionary range %d", j, len(dict))
+		}
+		out[i] = dict[j]
+	}
+	return out, nil
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+func appendI32s(b []byte, xs []int32) []byte {
+	for _, x := range xs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(x))
+	}
+	return b
+}
+
+func appendU32s(b []byte, xs []uint32) []byte {
+	for _, x := range xs {
+		b = binary.LittleEndian.AppendUint32(b, x)
+	}
+	return b
+}
+
+// reader is a cursor over the artifact body with sticky error semantics:
+// any overrun sets err and every later read returns zero values, so decode
+// paths stay straight-line.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		if r.err == nil {
+			r.err = fmt.Errorf("overrun")
+		}
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *reader) u8() byte {
+	p := r.bytes(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *reader) u32() uint32 {
+	p := r.bytes(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (r *reader) u64() uint64 {
+	p := r.bytes(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+// count reads a u64 header count, clamping anything implausible (negative
+// as int, or larger than the file could possibly hold) to an error.
+func (r *reader) count() int {
+	v := r.u64()
+	if v > uint64(len(r.b)) || v > math.MaxInt32 {
+		if r.err == nil {
+			r.err = fmt.Errorf("implausible count %d", v)
+		}
+		return 0
+	}
+	return int(v)
+}
+
+// blob reads a u32-length-prefixed byte string.
+func (r *reader) blob() []byte {
+	n := r.u32()
+	if uint64(n) > uint64(len(r.b)) {
+		if r.err == nil {
+			r.err = fmt.Errorf("implausible blob length %d", n)
+		}
+		return nil
+	}
+	return r.bytes(int(n))
+}
+
+func (r *reader) i32s(n int) []int32 {
+	p := r.bytes(4 * n)
+	if p == nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(p[4*i:]))
+	}
+	return out
+}
+
+func (r *reader) u32s(n int) []uint32 {
+	p := r.bytes(4 * n)
+	if p == nil {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(p[4*i:])
+	}
+	return out
+}
+
+func (r *reader) u64s(n int) []uint64 {
+	p := r.bytes(8 * n)
+	if p == nil {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(p[8*i:])
+	}
+	return out
+}

@@ -1,0 +1,356 @@
+package atlasstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+)
+
+// Store is a directory of atlas artifacts, one per exploration lineage.
+// A lineage is (protocol registry name, process count, root binary
+// canonical key) — deliberately *not* the exploration bounds: the artifact
+// holds the deepest/widest state ever computed for that lineage, and every
+// request's bounds are resolved against the artifact header. That is what
+// makes the two store behaviors fall out of one file: a complete artifact
+// answers any budget that covers it (and refuses any that does not,
+// without rebuilding), and a truncated artifact carries its frontier so
+// the next deeper request resumes instead of re-exploring. Layout and
+// semantic versioning live in the artifact header (DESIGN.md §9); a
+// version mismatch is handled exactly like corruption — delete, rebuild.
+//
+// A Store implements explore.AtlasBackend and is safe for concurrent use;
+// requests for the same lineage serialize on a per-lineage lock (the
+// disk-level analogue of the cache's singleflight), requests for
+// different lineages proceed independently.
+type Store struct {
+	dir  string
+	logf func(format string, args ...any)
+
+	mu    sync.Mutex
+	locks map[string]*sync.Mutex
+
+	hits, misses, resumes, evictions, corrupt, refused atomic.Int64
+}
+
+// Stats is a snapshot of the store's operation counters.
+type Stats struct {
+	// Hits are requests answered by loading a complete artifact.
+	Hits int64
+	// Misses are requests that found no artifact and built from scratch
+	// (persisting the result, complete or truncated).
+	Misses int64
+	// Resumes are requests that restored a truncated artifact's frontier
+	// and extended it instead of re-exploring.
+	Resumes int64
+	// Evictions are artifact files replaced by a newer state (truncated →
+	// complete, or truncated → deeper truncated).
+	Evictions int64
+	// Corrupt counts artifacts that failed checksum/format validation and
+	// were deleted for rebuild.
+	Corrupt int64
+	// Refused are requests answered with the complete-or-refused
+	// contract's refusal — including persistent refusals decided from a
+	// stored artifact's header without re-exploring.
+	Refused int64
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("atlasstore: %w", err)
+	}
+	return &Store{dir: dir, logf: log.Printf, locks: make(map[string]*sync.Mutex)}, nil
+}
+
+// SetLog redirects the store's diagnostics (corruption, I/O failures);
+// nil silences them.
+func (s *Store) SetLog(f func(format string, args ...any)) {
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	s.logf = f
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns the cumulative operation counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Resumes:   s.resumes.Load(),
+		Evictions: s.evictions.Load(),
+		Corrupt:   s.corrupt.Load(),
+		Refused:   s.refused.Load(),
+	}
+}
+
+// lineageFile is the content-addressed artifact path: a SHA-256 over the
+// self-describing protocol name, process count, and the root's binary
+// canonical key. Registry names are stable identities and gen: protocol
+// names encode their full specification, so equal digests mean equal
+// exploration problems.
+func (s *Store) lineageFile(pr model.Protocol, root *model.Config) string {
+	h := sha256.New()
+	name := pr.Name()
+	var lenb [8]byte
+	binary.LittleEndian.PutUint64(lenb[:], uint64(len(name)))
+	h.Write(lenb[:])
+	h.Write([]byte(name))
+	binary.LittleEndian.PutUint64(lenb[:], uint64(pr.N()))
+	h.Write(lenb[:])
+	h.Write(root.KeyBytes())
+	return filepath.Join(s.dir, hex.EncodeToString(h.Sum(nil))+".atlas")
+}
+
+// lockLineage serializes work on one artifact file.
+func (s *Store) lockLineage(path string) func() {
+	s.mu.Lock()
+	l, ok := s.locks[path]
+	if !ok {
+		l = &sync.Mutex{}
+		s.locks[path] = l
+	}
+	s.mu.Unlock()
+	l.Lock()
+	return l.Unlock
+}
+
+// GetAtlas implements explore.AtlasBackend: answer the atlas request from
+// disk when possible, build-and-persist when not, honouring BuildAtlas's
+// complete-or-refused contract exactly. Store trouble (unwritable
+// directory, I/O errors) degrades to building in memory — the store never
+// fails a query it could answer by computing.
+func (s *Store) GetAtlas(pr model.Protocol, root *model.Config, opt explore.Options) (*explore.Atlas, bool) {
+	opt = opt.Normalized()
+	if opt.MaxDepth != 0 || opt.MaxConfigs >= math.MaxInt32 {
+		// Mirror BuildAtlas's refusals without touching disk: depth-bounded
+		// atlases do not exist and the id space is int32.
+		s.refused.Add(1)
+		return nil, false
+	}
+	path := s.lineageFile(pr, root)
+	defer s.lockLineage(path)()
+
+	art := s.load(pr, root, path)
+	if art != nil && art.Snap.Complete {
+		if art.Snap.Len() > opt.MaxConfigs {
+			// Persistent refusal, decided from the header: the exhausted
+			// reachable set is known to exceed this budget.
+			s.refused.Add(1)
+			return nil, false
+		}
+		a, err := explore.LoadAtlas(pr, root, opt, art.Snap)
+		if err != nil {
+			s.dropCorrupt(path, err)
+		} else {
+			s.hits.Add(1)
+			return a, true
+		}
+		art = nil
+	}
+
+	var b *explore.AtlasBuilder
+	resumed := false
+	if art != nil { // truncated artifact: resume from its frontier
+		rb, err := explore.RestoreAtlasBuilder(pr, root, art.Snap)
+		if err != nil {
+			s.dropCorrupt(path, err)
+		} else {
+			b, resumed = rb, true
+		}
+	}
+	if b == nil {
+		b = explore.NewAtlasBuilder(pr, root)
+	}
+	// Each request lands in exactly one outcome counter: hit (loaded),
+	// resume (frontier extended), miss (built from scratch), refused
+	// (answered without productive work). Whether a miss or resume ends
+	// in an atlas or a refusal is visible in the returned ok, not double-
+	// counted here.
+	grew := b.Extend(opt) > 0
+	switch {
+	case resumed && grew:
+		s.resumes.Add(1)
+	case resumed:
+		s.refused.Add(1) // restored state already saturates this budget
+	default:
+		s.misses.Add(1)
+	}
+	if !b.Complete() {
+		// Persist the truncated state with its frontier so the next
+		// bigger-budget request resumes instead of re-exploring.
+		if grew || !resumed {
+			s.save(path, pr, root, b.Snapshot(), resumed)
+		}
+		return nil, false
+	}
+	a, ok := b.Finish(opt)
+	if !ok {
+		return nil, false
+	}
+	if grew || !resumed {
+		// Persist the finished atlas — distance columns included, so the
+		// next process warm-loads without running the backward passes.
+		s.save(path, pr, root, a.Snapshot(), resumed)
+	}
+	return a, true
+}
+
+// DeepenStats reports what one Deepen call did to a lineage's artifact.
+type DeepenStats struct {
+	// Nodes is the number of admitted configurations after the call.
+	Nodes int
+	// Expanded is the number of configurations whose successor lists are
+	// closed after the call.
+	Expanded int
+	// NewlyExpanded is the number of configurations expanded *by this
+	// call* — zero when the artifact already covered the request, and
+	// never includes re-expansion of previously persisted depths.
+	NewlyExpanded int
+	// Complete reports that the reachable set is exhausted.
+	Complete bool
+	// Resumed reports that the call started from a persisted frontier
+	// rather than from scratch.
+	Resumed bool
+}
+
+// Deepen is the incremental-deepening entry point: explore the lineage's
+// reachable graph under opt's bounds (opt.MaxDepth > 0 is meaningful
+// here, unlike GetAtlas), resuming from the persisted frontier when an
+// artifact exists, and persist the extended state. A depth-d artifact
+// deepened to d+k expands exactly the nodes at depths d..d+k-1 — nothing
+// below d is re-expanded — and the resulting state is byte-identical to a
+// one-shot depth-(d+k) exploration. The returned snapshot is the
+// persisted state.
+func (s *Store) Deepen(pr model.Protocol, root *model.Config, opt explore.Options) (*explore.AtlasSnapshot, DeepenStats, error) {
+	opt = opt.Normalized()
+	path := s.lineageFile(pr, root)
+	defer s.lockLineage(path)()
+
+	var b *explore.AtlasBuilder
+	var st DeepenStats
+	if art := s.load(pr, root, path); art != nil {
+		if art.Snap.Complete {
+			// Exhausted: nothing a deeper bound could add.
+			s.hits.Add(1)
+			return art.Snap, DeepenStats{
+				Nodes: art.Snap.Len(), Expanded: art.Snap.Expanded(),
+				Complete: true, Resumed: true,
+			}, nil
+		}
+		rb, err := explore.RestoreAtlasBuilder(pr, root, art.Snap)
+		if err != nil {
+			s.dropCorrupt(path, err)
+		} else {
+			b, st.Resumed = rb, true
+		}
+	}
+	if b == nil {
+		b = explore.NewAtlasBuilder(pr, root)
+	}
+	st.NewlyExpanded = b.Extend(opt)
+	st.Nodes, st.Expanded, st.Complete = b.Len(), b.Expanded(), b.Complete()
+	if st.Resumed {
+		if st.NewlyExpanded > 0 {
+			s.resumes.Add(1)
+		} else {
+			s.hits.Add(1)
+		}
+	} else {
+		s.misses.Add(1)
+	}
+	var snap *explore.AtlasSnapshot
+	if st.Complete {
+		// Exhausted under the depth bound: finish into a real atlas so the
+		// persisted artifact carries distance columns and GetAtlas can
+		// warm-load it.
+		a, ok := b.Finish(explore.Options{MaxConfigs: opt.MaxConfigs, Workers: opt.Workers})
+		if !ok {
+			return nil, st, fmt.Errorf("atlasstore: complete builder refused to finish")
+		}
+		snap = a.Snapshot()
+	} else {
+		snap = b.Snapshot()
+	}
+	if st.NewlyExpanded > 0 || !st.Resumed {
+		s.save(path, pr, root, snap, st.Resumed)
+	}
+	return snap, st, nil
+}
+
+// load reads and validates the lineage's artifact; nil when absent,
+// corrupt (deleted for rebuild), or not this lineage's content.
+func (s *Store) load(pr model.Protocol, root *model.Config, path string) *artifact {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.logf("atlasstore: read %s: %v", path, err)
+		}
+		return nil
+	}
+	art, err := decodeArtifact(data)
+	if err != nil {
+		s.dropCorrupt(path, err)
+		return nil
+	}
+	if art.ProtoName != pr.Name() || art.N != pr.N() || !bytes.Equal(art.RootKey, root.KeyBytes()) {
+		// The file's content-addressed name disagrees with its header —
+		// only possible through corruption or tampering.
+		s.dropCorrupt(path, fmt.Errorf("artifact identity does not match its lineage"))
+		return nil
+	}
+	return art
+}
+
+// dropCorrupt logs and deletes a damaged artifact so the next request
+// rebuilds it.
+func (s *Store) dropCorrupt(path string, err error) {
+	s.corrupt.Add(1)
+	s.logf("atlasstore: %s: %v (deleting for rebuild)", filepath.Base(path), err)
+	if rmErr := os.Remove(path); rmErr != nil && !os.IsNotExist(rmErr) {
+		s.logf("atlasstore: remove %s: %v", path, rmErr)
+	}
+}
+
+// save atomically writes the artifact: temp file in the same directory,
+// fsync, rename. replace notes that an older artifact is being
+// superseded (counted as an eviction). Failures are logged, never fatal —
+// the in-memory result is still correct.
+func (s *Store) save(path string, pr model.Protocol, root *model.Config, snap *explore.AtlasSnapshot, replace bool) {
+	data := encodeArtifact(pr.Name(), pr.N(), root.KeyBytes(), snap)
+	tmp, err := os.CreateTemp(s.dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		s.logf("atlasstore: write %s: %v", path, err)
+		return
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		s.logf("atlasstore: write %s: %v", path, err)
+		return
+	}
+	if replace {
+		s.evictions.Add(1)
+	}
+}

@@ -73,6 +73,7 @@ func Suite(s Sizes) []Runner {
 		{"E21", E21Failover},
 		{"E22", E22Serve},
 		{"E23", E23Scaling},
+		{"E24", E24AtlasStore},
 	}
 }
 

@@ -138,7 +138,10 @@ func E22ServeBench() (*Table, *ServeBench, error) {
 	}
 
 	for _, pool := range pools {
-		s := serve.New(serve.Options{Workers: pool, QueueDepth: clients * len(workload)})
+		s, err := serve.New(serve.Options{Workers: pool, QueueDepth: clients * len(workload)})
+		if err != nil {
+			return nil, nil, fmt.Errorf("E22 pool %d: %w", pool, err)
+		}
 		hs := httptest.NewServer(s.Handler())
 
 		latencies := make([]time.Duration, 0, clients*len(workload))
@@ -192,7 +195,10 @@ func E22ServeBench() (*Table, *ServeBench, error) {
 	// Cold vs warm: the same census against a fresh cache, then against
 	// the cache that census just populated. The delta is pure BuildAtlas
 	// cost — the warm path re-serves eight memoized classifications.
-	s := serve.New(serve.Options{Workers: 2})
+	s, err := serve.New(serve.Options{Workers: 2})
+	if err != nil {
+		return nil, nil, err
+	}
 	hs := httptest.NewServer(s.Handler())
 	census := serveRequest{"/v1/census", serve.CensusRequest{Protocol: "naivemajority", N: 3}}
 	cold, err := postWait(hs.URL, census)

@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/flpsim/flp/internal/atlasstore"
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+	"github.com/flpsim/flp/internal/protocols"
+)
+
+// E24 benchmarks the persistent atlas store on the census kernels the
+// suite leans on. Three questions, three measurements:
+//
+//   - cold: build every atlas through a fresh store (BuildAtlas cost plus
+//     one artifact write per lineage);
+//   - warm: reopen the store and answer the same censuses from disk — one
+//     sequential artifact read per lineage, no exploration, and the loaded
+//     atlases' censuses must equal fresh BuildAtlas exactly;
+//   - incremental: deepen a truncated atlas to depth d, then resume it to
+//     d+k from the persisted frontier. The resume must not re-expand the
+//     prefix: newly-expanded counts from the two steps must sum to the
+//     one-shot build's, pinned per row.
+//
+// Warm-over-cold speedup on the E2 kernel is the store's headline contract
+// (≥ 5x); the agree column is the correctness side of it.
+
+// StoreBenchRow is one kernel's cold-vs-warm comparison; serialized into
+// BENCH_atlasstore.json by cmd/flpbench.
+type StoreBenchRow struct {
+	Kernel    string  `json:"kernel"`
+	Protocols string  `json:"protocols"`
+	Lineages  int     `json:"lineages"`
+	Configs   int     `json:"configs"`
+	ColdMS    float64 `json:"cold_ms"`
+	WarmMS    float64 `json:"warm_ms"`
+	Speedup   float64 `json:"speedup"`
+	Agree     bool    `json:"agree"`
+}
+
+// StoreIncRow is one incremental-deepening comparison: one-shot build to
+// the target depth vs deepen-to-d + resume-to-target from the stored
+// frontier.
+type StoreIncRow struct {
+	Kernel    string  `json:"kernel"`
+	Protocol  string  `json:"protocol"`
+	DepthD    int     `json:"depth_d"`
+	DepthDK   int     `json:"depth_dk"` // 0 = run to completion
+	Nodes     int     `json:"nodes"`    // nodes at the target depth
+	OneShotMS float64 `json:"one_shot_ms"`
+	DeepenMS  float64 `json:"deepen_ms"` // cold build to depth d
+	ResumeMS  float64 `json:"resume_ms"` // stored frontier -> target depth
+	// Pinned is the no-rework bit: newly-expanded(d) + newly-expanded(d→dk)
+	// equals the one-shot build's expansion count, and the node sets match.
+	Pinned bool `json:"pinned"`
+}
+
+// StoreBench is the machine-readable form of the E24 table.
+type StoreBench struct {
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	NumCPU      int             `json:"numcpu"`
+	Smoke       bool            `json:"smoke"`
+	Rows        []StoreBenchRow `json:"rows"`
+	Incremental []StoreIncRow   `json:"incremental"`
+}
+
+// E24AtlasStore is the Suite entry point (table only).
+func E24AtlasStore() (*Table, error) {
+	t, _, err := E24AtlasStoreBench(false, "")
+	return t, err
+}
+
+// E24AtlasStoreBench runs the store benchmark and returns both the
+// printable table and the JSON-serializable result. Smoke mode drops the
+// wide-frontier onethird(4) incremental row. A non-empty dir roots every
+// store under it (one subdirectory per measurement, cleared before its
+// cold phase so the numbers stay honest, kept afterwards for inspection);
+// "" uses throwaway temp directories.
+func E24AtlasStoreBench(smoke bool, dir string) (*Table, *StoreBench, error) {
+	t := &Table{
+		ID:      "E24",
+		Title:   "Persistent atlas store: cold build-and-persist vs warm single-read load vs frontier resume (1 worker)",
+		Columns: []string{"kernel", "protocols", "lineages", "configs", "cold", "warm", "speedup", "agree"},
+	}
+	bench := &StoreBench{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Smoke: smoke}
+
+	kernels := []struct {
+		kernel string
+		prs    []model.Protocol
+	}{
+		{"E2 initial-valency census", []model.Protocol{protocols.NewNaiveMajority(3)}},
+		{"E11 agreement sweep", []model.Protocol{
+			protocols.NewTrivial0(3),
+			protocols.NewWaitAll(3),
+			protocols.NewNaiveMajority(3),
+			protocols.NewTwoPhaseCommit(3),
+		}},
+	}
+	for i, k := range kernels {
+		row, err := storeKernel(k.kernel, k.prs, benchDir(dir, fmt.Sprintf("kernel-%d", i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		t.AddRow(row.Kernel, row.Protocols, row.Lineages, row.Configs,
+			fmt.Sprintf("%.1fms", row.ColdMS), fmt.Sprintf("%.1fms", row.WarmMS),
+			fmt.Sprintf("%.1fx", row.Speedup), row.Agree)
+		bench.Rows = append(bench.Rows, row)
+	}
+
+	incs := []struct {
+		pr     model.Protocol
+		in     model.Inputs
+		d, dk  int
+		budget int
+	}{
+		// Finite kernel: truncate at depth 3, resume to completion.
+		{protocols.NewNaiveMajority(3), model.Inputs{0, 1, 1}, 3, 0, 0},
+	}
+	if !smoke {
+		// The wide-frontier kernel: onethird(4)'s state space is infinite
+		// and roughly quadruples per level, so the resumed suffix carries
+		// real expansion work while the stored prefix is replay-only.
+		incs = append(incs, struct {
+			pr     model.Protocol
+			in     model.Inputs
+			d, dk  int
+			budget int
+		}{protocols.NewOneThirdRule(4), model.Inputs{0, 1, 1, 1}, 5, 7, 200000})
+	}
+	for i, inc := range incs {
+		row, err := storeIncremental(inc.pr, inc.in, inc.d, inc.dk, inc.budget, benchDir(dir, fmt.Sprintf("inc-%d", i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		target := "complete"
+		if row.DepthDK > 0 {
+			target = fmt.Sprintf("depth %d", row.DepthDK)
+		}
+		t.AddRow(fmt.Sprintf("incremental: depth %d → %s", row.DepthD, target),
+			row.Protocol, 1, row.Nodes,
+			fmt.Sprintf("%.1fms", row.OneShotMS),
+			fmt.Sprintf("%.1f+%.1fms", row.DeepenMS, row.ResumeMS),
+			fmt.Sprintf("%.1fx", row.OneShotMS/(row.DeepenMS+row.ResumeMS)), row.Pinned)
+		bench.Incremental = append(bench.Incremental, row)
+	}
+
+	t.AddNote("cold builds every lineage through a fresh store (exploration + one artifact write); warm reopens the directory and loads each atlas in one sequential read — censuses equal fresh BuildAtlas exactly")
+	t.AddNote("incremental rows: 'warm' is deepen-to-d + resume-to-target; agree there means the resume re-expanded nothing (expansion counts sum to the one-shot build's) and node sets match")
+	return t, bench, nil
+}
+
+// benchDir names one measurement's store directory under base, or "" to
+// request a throwaway temp directory.
+func benchDir(base, sub string) string {
+	if base == "" {
+		return ""
+	}
+	return base + string(os.PathSeparator) + sub
+}
+
+// freshDir returns an empty directory for one measurement's cold phase: a
+// temp directory (cleaned up) when want is "", otherwise want cleared and
+// recreated (kept afterwards).
+func freshDir(want string) (string, func(), error) {
+	if want == "" {
+		dir, err := os.MkdirTemp("", "flp-e24-*")
+		if err != nil {
+			return "", nil, err
+		}
+		return dir, func() { os.RemoveAll(dir) }, nil
+	}
+	if err := os.RemoveAll(want); err != nil {
+		return "", nil, err
+	}
+	if err := os.MkdirAll(want, 0o755); err != nil {
+		return "", nil, err
+	}
+	return want, func() {}, nil
+}
+
+// storeKernel runs one kernel's lineages cold then warm and cross-checks
+// the warm censuses against fresh in-memory builds.
+func storeKernel(kernel string, prs []model.Protocol, want string) (StoreBenchRow, error) {
+	opt := explore.Options{Workers: 1}
+	dir, cleanup, err := freshDir(want)
+	if err != nil {
+		return StoreBenchRow{}, err
+	}
+	defer cleanup()
+
+	names := ""
+	roots := 0
+	for i, pr := range prs {
+		if i > 0 {
+			names += "+"
+		}
+		names += pr.Name()
+		roots += len(model.AllInputs(pr.N()))
+	}
+
+	cold, err := atlasstore.Open(dir)
+	if err != nil {
+		return StoreBenchRow{}, err
+	}
+	total := 0
+	start := time.Now()
+	if err := eachRoot(prs, func(pr model.Protocol, root *model.Config) error {
+		a, ok := cold.GetAtlas(pr, root, opt)
+		if !ok {
+			return fmt.Errorf("experiments: E24: store refused %s root %s", pr.Name(), kernel)
+		}
+		total += a.Len()
+		return nil
+	}); err != nil {
+		return StoreBenchRow{}, err
+	}
+	coldD := time.Since(start)
+	// Distinct lineages can be fewer than roots: protocols that ignore
+	// their inputs (trivial0) share one initial configuration across all
+	// input vectors, and the store correctly serves the repeats as hits.
+	coldStats := cold.Stats()
+	lineages := int(coldStats.Misses)
+	if coldStats.Hits+coldStats.Misses != int64(roots) || lineages == 0 {
+		return StoreBenchRow{}, fmt.Errorf("experiments: E24: cold run stats %+v over %d roots", coldStats, roots)
+	}
+
+	warm, err := atlasstore.Open(dir)
+	if err != nil {
+		return StoreBenchRow{}, err
+	}
+	warmCounts := make(map[explore.Valency]int)
+	start = time.Now()
+	if err := eachRoot(prs, func(pr model.Protocol, root *model.Config) error {
+		a, ok := warm.GetAtlas(pr, root, opt)
+		if !ok {
+			return fmt.Errorf("experiments: E24: warm store refused %s", pr.Name())
+		}
+		for v, n := range a.Census() {
+			warmCounts[v] += n
+		}
+		return nil
+	}); err != nil {
+		return StoreBenchRow{}, err
+	}
+	warmD := time.Since(start)
+	agree := true
+	if st := warm.Stats(); st.Hits != int64(roots) || st.Misses != 0 || st.Resumes != 0 {
+		agree = false
+	}
+
+	freshCounts := make(map[explore.Valency]int)
+	if err := eachRoot(prs, func(pr model.Protocol, root *model.Config) error {
+		a, ok := explore.BuildAtlas(pr, root, opt)
+		if !ok {
+			return fmt.Errorf("experiments: E24: BuildAtlas refused %s", pr.Name())
+		}
+		for v, n := range a.Census() {
+			freshCounts[v] += n
+		}
+		return nil
+	}); err != nil {
+		return StoreBenchRow{}, err
+	}
+	agree = agree && valencyCountsEqual(warmCounts, freshCounts)
+
+	return StoreBenchRow{
+		Kernel:    kernel,
+		Protocols: names,
+		Lineages:  lineages,
+		Configs:   total,
+		ColdMS:    float64(coldD.Microseconds()) / 1000,
+		WarmMS:    float64(warmD.Microseconds()) / 1000,
+		Speedup:   float64(coldD) / float64(warmD),
+		Agree:     agree,
+	}, nil
+}
+
+// eachRoot visits every initial configuration of every listed protocol.
+func eachRoot(prs []model.Protocol, f func(model.Protocol, *model.Config) error) error {
+	for _, pr := range prs {
+		for _, in := range model.AllInputs(pr.N()) {
+			root, err := model.Initial(pr, in)
+			if err != nil {
+				return err
+			}
+			if err := f(pr, root); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// storeIncremental compares a one-shot build to the target depth against a
+// two-step deepen(d) + resume(d→dk) through the store, pinning that the
+// resume re-expands nothing.
+func storeIncremental(pr model.Protocol, in model.Inputs, d, dk, budget int, want string) (StoreIncRow, error) {
+	root, err := model.Initial(pr, in)
+	if err != nil {
+		return StoreIncRow{}, err
+	}
+	optAt := func(depth int) explore.Options {
+		return explore.Options{Workers: 1, MaxDepth: depth, MaxConfigs: budget}
+	}
+
+	oneDir, oneCleanup, err := freshDir(benchDir(want, "oneshot"))
+	if err != nil {
+		return StoreIncRow{}, err
+	}
+	defer oneCleanup()
+	oneStore, err := atlasstore.Open(oneDir)
+	if err != nil {
+		return StoreIncRow{}, err
+	}
+	start := time.Now()
+	oneSnap, oneStats, err := oneStore.Deepen(pr, root, optAt(dk))
+	if err != nil {
+		return StoreIncRow{}, err
+	}
+	oneD := time.Since(start)
+
+	stepDir, stepCleanup, err := freshDir(benchDir(want, "stepped"))
+	if err != nil {
+		return StoreIncRow{}, err
+	}
+	defer stepCleanup()
+	stepStore, err := atlasstore.Open(stepDir)
+	if err != nil {
+		return StoreIncRow{}, err
+	}
+	start = time.Now()
+	_, stepStats, err := stepStore.Deepen(pr, root, optAt(d))
+	if err != nil {
+		return StoreIncRow{}, err
+	}
+	stepD := time.Since(start)
+	start = time.Now()
+	resSnap, resStats, err := stepStore.Deepen(pr, root, optAt(dk))
+	if err != nil {
+		return StoreIncRow{}, err
+	}
+	resD := time.Since(start)
+
+	pinned := resStats.Resumed &&
+		stepStats.NewlyExpanded+resStats.NewlyExpanded == oneStats.NewlyExpanded &&
+		resSnap.Len() == oneSnap.Len() &&
+		resSnap.Expanded() == oneSnap.Expanded()
+
+	return StoreIncRow{
+		Kernel:    "incremental deepening",
+		Protocol:  pr.Name(),
+		DepthD:    d,
+		DepthDK:   dk,
+		Nodes:     oneSnap.Len(),
+		OneShotMS: float64(oneD.Microseconds()) / 1000,
+		DeepenMS:  float64(stepD.Microseconds()) / 1000,
+		ResumeMS:  float64(resD.Microseconds()) / 1000,
+		Pinned:    pinned,
+	}, nil
+}

@@ -550,11 +550,49 @@ func TestE22ServeShape(t *testing.T) {
 	}
 }
 
+func TestE24AtlasStoreShape(t *testing.T) {
+	// Smoke mode drops the wide-frontier onethird row; the kernel rows and
+	// the finite incremental row carry every correctness bit this test
+	// cares about.
+	tab, bench, err := experiments.E24AtlasStoreBench(true, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Rows) != 2 || len(bench.Incremental) != 1 {
+		t.Fatalf("E24 has %d kernel rows / %d incremental rows, want 2/1", len(bench.Rows), len(bench.Incremental))
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("E24 table has %d rows, want 3", len(tab.Rows))
+	}
+	for i, r := range bench.Rows {
+		// Correctness and accounting only — the 5x warm-over-cold ratio is
+		// asserted on the flpbench artifact, not here (CI machines are too
+		// noisy to gate on).
+		if !r.Agree {
+			t.Errorf("row %d (%s): warm store censuses diverged from fresh builds", i, r.Kernel)
+		}
+		if r.Lineages <= 0 || r.Configs <= 0 {
+			t.Errorf("row %d (%s): lineages=%d configs=%d, want both > 0", i, r.Kernel, r.Lineages, r.Configs)
+		}
+		if r.WarmMS <= 0 || r.ColdMS <= 0 {
+			t.Errorf("row %d (%s): cold=%.3fms warm=%.3fms, want both > 0", i, r.Kernel, r.ColdMS, r.WarmMS)
+		}
+	}
+	for i, r := range bench.Incremental {
+		if !r.Pinned {
+			t.Errorf("incremental row %d (%s): resume re-expanded stored nodes or diverged", i, r.Protocol)
+		}
+		if r.Nodes <= 0 {
+			t.Errorf("incremental row %d (%s): no nodes at the target depth", i, r.Protocol)
+		}
+	}
+}
+
 func TestSuiteAndRunByID(t *testing.T) {
 	s := experiments.DefaultSizes()
 	suite := experiments.Suite(s)
-	if len(suite) != 23 {
-		t.Fatalf("suite has %d experiments, want 23", len(suite))
+	if len(suite) != 24 {
+		t.Fatalf("suite has %d experiments, want 24", len(suite))
 	}
 	ids := map[string]bool{}
 	for _, r := range suite {

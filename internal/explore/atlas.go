@@ -1,8 +1,10 @@
 package explore
 
 import (
+	"bytes"
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/flpsim/flp/internal/model"
 )
@@ -70,6 +72,16 @@ type Atlas struct {
 	// reachable. These are the decision bits: has0 = dist0 ≥ 0.
 	dist0 []int32
 	dist1 []int32
+
+	// Store-loaded atlases (LoadAtlas) carry the persisted canonical-key
+	// table instead of an interner, answer IDOf from a lazily built key
+	// map, and materialize configurations on demand by replaying the
+	// breadth-first tree under cfgMu. Built atlases keep index non-nil and
+	// never touch these.
+	keys      [][]byte
+	byKeyOnce sync.Once
+	byKey     map[string]int32
+	cfgMu     sync.Mutex
 }
 
 // BuildAtlas materializes the reachable configuration graph of pr from
@@ -195,8 +207,11 @@ func (a *Atlas) buildPred() {
 // from u to a val-decision, -1 when unreachable — node u's "has val" bit
 // and witness length in one array.
 func (a *Atlas) distToValue(val model.Value) []int32 {
-	seed := func(c *model.Config) bool {
-		for _, d := range c.DecisionValues() {
+	// Only ever called during construction, where every configuration is
+	// materialized; loaded atlases carry their distance columns in the
+	// artifact and never run this.
+	seed := func(id int32) bool {
+		for _, d := range a.cfgs[id].DecisionValues() {
 			if d == val {
 				return true
 			}
@@ -207,14 +222,16 @@ func (a *Atlas) distToValue(val model.Value) []int32 {
 }
 
 // backwardBFS runs the shared reverse fixpoint: dist 0 at every seed node,
-// +1 across each usable reverse edge. A nil usable admits every edge;
-// distDecidedAvoiding passes the p-free restriction.
-func (a *Atlas) backwardBFS(seed func(*model.Config) bool, usable func(model.Event) bool) []int32 {
+// +1 across each usable reverse edge. The seed predicate is keyed by node
+// id so it can run off persisted columns without materializing
+// configurations. A nil usable admits every edge; distDecidedAvoiding
+// passes the p-free restriction.
+func (a *Atlas) backwardBFS(seed func(int32) bool, usable func(model.Event) bool) []int32 {
 	V := len(a.cfgs)
 	dist := make([]int32, V)
 	queue := make([]int32, 0, V)
 	for i := range dist {
-		if seed(a.cfgs[i]) {
+		if seed(int32(i)) {
 			queue = append(queue, int32(i))
 		} else {
 			dist[i] = -1
@@ -244,7 +261,10 @@ func (a *Atlas) backwardBFS(seed func(*model.Config) bool, usable func(model.Eve
 // steps"), answered for all nodes by one backward pass instead of one
 // forward search per node.
 func (a *Atlas) distDecidedAvoiding(p model.PID) []int32 {
-	seed := func(c *model.Config) bool { return len(c.DecisionValues()) > 0 }
+	// A node contains a decision value exactly when one of its decision
+	// distances is zero, so the seed runs off the distance columns — which
+	// loaded atlases have even before any configuration is materialized.
+	seed := func(id int32) bool { return a.dist0[id] == 0 || a.dist1[id] == 0 }
 	return a.backwardBFS(seed, func(e model.Event) bool { return e.P != p })
 }
 
@@ -258,18 +278,66 @@ func (a *Atlas) Edges() int { return len(a.succTo) }
 // Root returns the configuration the atlas was built from.
 func (a *Atlas) Root() *model.Config { return a.root }
 
-// Config returns the configuration of node id.
-func (a *Atlas) Config(id int32) *model.Config { return a.cfgs[id] }
+// Config returns the configuration of node id. On a built atlas every
+// configuration is already materialized; on a store-loaded atlas the
+// parent chain is replayed (and verified against the persisted canonical
+// keys) on first access, so callers that never touch configurations —
+// censuses, valencies, witness lengths — pay no replay at all.
+func (a *Atlas) Config(id int32) *model.Config {
+	if a.index != nil {
+		return a.cfgs[id]
+	}
+	a.cfgMu.Lock()
+	defer a.cfgMu.Unlock()
+	return a.materialize(id)
+}
+
+// materialize replays node id's breadth-first parent chain down from the
+// deepest already-materialized ancestor. Caller holds cfgMu.
+func (a *Atlas) materialize(id int32) *model.Config {
+	if a.cfgs[id] != nil {
+		return a.cfgs[id]
+	}
+	// Collect the unmaterialized suffix of the parent chain, then replay
+	// it forward.
+	chain := []int32{id}
+	for p := a.parent[id]; a.cfgs[p] == nil; p = a.parent[p] {
+		chain = append(chain, p)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		u := chain[i]
+		c, err := model.Apply(a.pr, a.cfgs[a.parent[u]], a.parentVia[u])
+		if err != nil {
+			panic(fmt.Sprintf("explore: loaded atlas replay failed at node %d: %v", u, err))
+		}
+		if !bytes.Equal(c.KeyBytes(), a.keys[u]) {
+			panic(fmt.Sprintf("explore: loaded atlas replay diverged at node %d", u))
+		}
+		a.cfgs[u] = c
+	}
+	return a.cfgs[id]
+}
 
 // IDOf returns the node id of c. Every configuration reachable from the
 // root is present; ok=false means c is not reachable from the root (or is
 // the product of a different protocol).
 func (a *Atlas) IDOf(c *model.Config) (int32, bool) {
-	tag, ok := a.index.Tag(c)
-	if !ok {
-		return 0, false
+	if a.index != nil {
+		tag, ok := a.index.Tag(c)
+		if !ok {
+			return 0, false
+		}
+		return int32(tag), true
 	}
-	return int32(tag), true
+	a.byKeyOnce.Do(func() {
+		m := make(map[string]int32, len(a.keys))
+		for i, k := range a.keys {
+			m[string(k)] = int32(i)
+		}
+		a.byKey = m
+	})
+	id, ok := a.byKey[string(c.KeyBytes())]
+	return id, ok
 }
 
 // ValencyAt returns the exact valency class of node id.

@@ -21,13 +21,30 @@ import (
 // (protocol, params, root) tuple. Safe for concurrent use. Atlases are
 // immutable, so a cached atlas may be handed to any number of consumers.
 type AtlasCache struct {
-	c *keyedcache.Cache[*Atlas]
+	c       *keyedcache.Cache[*Atlas]
+	backend AtlasBackend
 }
 
 // NewAtlasCache returns an empty atlas cache.
 func NewAtlasCache() *AtlasCache {
 	return &AtlasCache{c: keyedcache.New[*Atlas]()}
 }
+
+// AtlasBackend is a second-level atlas source consulted on memory-cache
+// misses — in practice atlasstore.Store, which loads persisted artifacts
+// and persists fresh builds. GetAtlas must honour BuildAtlas's
+// complete-or-refused contract: atlas non-nil iff ok, nil/false for a
+// refusal under opt's bounds. The cache memoizes whatever the backend
+// answers, refusals included.
+type AtlasBackend interface {
+	GetAtlas(pr model.Protocol, root *model.Config, opt Options) (*Atlas, bool)
+}
+
+// SetBackend installs a second-level source behind the in-memory cache:
+// lookups go memory → backend, and the backend (not the cache) decides
+// how to build on a full miss. Call before the cache is shared; the
+// backend is read without synchronization afterwards.
+func (ac *AtlasCache) SetBackend(b AtlasBackend) { ac.backend = b }
 
 // AtlasKey renders the cache identity of an atlas build: the protocol's
 // registry name (self-describing for generated gen: protocols) and
@@ -59,7 +76,13 @@ func (ac *AtlasCache) GetStats(pr model.Protocol, root *model.Config, opt Option
 
 func (ac *AtlasCache) lookup(pr model.Protocol, root *model.Config, opt Options) (*Atlas, error, bool) {
 	return ac.c.Do(AtlasKey(pr, root, opt), func() (*Atlas, error) {
-		atlas, ok := BuildAtlas(pr, root, opt)
+		var atlas *Atlas
+		var ok bool
+		if ac.backend != nil {
+			atlas, ok = ac.backend.GetAtlas(pr, root, opt)
+		} else {
+			atlas, ok = BuildAtlas(pr, root, opt)
+		}
 		if !ok {
 			return nil, nil // memoized refusal: nil atlas, no error
 		}

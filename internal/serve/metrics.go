@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"github.com/flpsim/flp/internal/atlasstore"
 	"github.com/flpsim/flp/internal/explore"
 	"github.com/flpsim/flp/internal/promtext"
 )
@@ -19,7 +20,7 @@ type metrics struct {
 	httpTotal   *promtext.CounterVec // endpoint, code
 }
 
-func newMetrics(ac *explore.AtlasCache) *metrics {
+func newMetrics(ac *explore.AtlasCache, store *atlasstore.Store) *metrics {
 	reg := promtext.NewRegistry()
 	m := &metrics{
 		reg: reg,
@@ -39,5 +40,15 @@ func newMetrics(ac *explore.AtlasCache) *metrics {
 	cache.With(func() int64 { h, _, _ := ac.Stats(); return h }, "hit")
 	cache.With(func() int64 { _, mi, _ := ac.Stats(); return mi }, "miss")
 	cache.With(func() int64 { _, _, me := ac.Stats(); return me }, "merged")
+	if store != nil {
+		ops := promtext.NewCounterFuncVec(reg, "flpserve_atlas_store_ops_total",
+			"Persistent atlas store operations, by outcome: hit (artifact loaded), miss (built and persisted), resume (frontier extended), evict (artifact replaced by a newer state), corrupt (artifact failed validation, deleted), refused (complete-or-refused contract refusal).", "outcome")
+		ops.With(func() int64 { return store.Stats().Hits }, "hit")
+		ops.With(func() int64 { return store.Stats().Misses }, "miss")
+		ops.With(func() int64 { return store.Stats().Resumes }, "resume")
+		ops.With(func() int64 { return store.Stats().Evictions }, "evict")
+		ops.With(func() int64 { return store.Stats().Corrupt }, "corrupt")
+		ops.With(func() int64 { return store.Stats().Refused }, "refused")
+	}
 	return m
 }

@@ -26,6 +26,7 @@ package serve
 import (
 	"net/http"
 
+	"github.com/flpsim/flp/internal/atlasstore"
 	"github.com/flpsim/flp/internal/explore"
 )
 
@@ -38,6 +39,11 @@ type Options struct {
 	// QueueDepth bounds how many admitted jobs may wait for a pool
 	// worker. Beyond it, submissions get 503 + Retry-After. Default 64.
 	QueueDepth int
+	// AtlasDir, when set, backs the shared atlas cache with a persistent
+	// atlasstore.Store rooted there: atlases survive restarts, and a
+	// server pointed at a warm directory serves its first repeat census
+	// from disk instead of rebuilding. Empty means memory-only.
+	AtlasDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -56,20 +62,30 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	opt     Options
 	atlases *explore.AtlasCache
+	store   *atlasstore.Store
 	m       *metrics
 	queue   *jobQueue
 	mux     *http.ServeMux
 }
 
 // New builds a server. The embedded atlas cache is fresh; every job this
-// server runs shares it.
-func New(opt Options) *Server {
+// server runs shares it. With Options.AtlasDir set, the cache is backed
+// by a persistent store in that directory — the only error path.
+func New(opt Options) (*Server, error) {
 	opt = opt.withDefaults()
 	s := &Server{
 		opt:     opt,
 		atlases: explore.NewAtlasCache(),
 	}
-	s.m = newMetrics(s.atlases)
+	if opt.AtlasDir != "" {
+		st, err := atlasstore.Open(opt.AtlasDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.atlases.SetBackend(st)
+	}
+	s.m = newMetrics(s.atlases, s.store)
 	s.queue = newJobQueue(opt.Workers, opt.QueueDepth, s.m)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/census", s.handleCensus)
@@ -80,7 +96,7 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("GET /v1/protocols", s.handleProtocols)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", s.m.reg.Handler())
-	return s
+	return s, nil
 }
 
 // Handler returns the server's HTTP handler tree.
@@ -100,3 +116,7 @@ func (s *Server) Draining() bool { return s.queue.Draining() }
 
 // AtlasCache exposes the shared cache (benchmarks read its stats).
 func (s *Server) AtlasCache() *explore.AtlasCache { return s.atlases }
+
+// Store exposes the persistent atlas store, nil when Options.AtlasDir was
+// unset (memory-only cache).
+func (s *Server) Store() *atlasstore.Store { return s.store }

@@ -20,7 +20,10 @@ import (
 // newTestServer boots a server over httptest and hands back both handles.
 func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(opt)
+	s, err := New(opt)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(hs.Close)
 	return s, hs

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// scrapeCounter fetches /metrics and returns the value of one counter
+// sample line, e.g. scrapeCounter(t, url, `flpserve_atlas_store_ops_total{outcome="hit"}`).
+func scrapeCounter(t *testing.T, baseURL, sample string) float64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(sample) + ` ([0-9.eE+-]+)$`)
+	m := re.FindSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric sample %q not found in scrape:\n%s", sample, body)
+	}
+	v, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		t.Fatalf("metric sample %q has unparseable value: %v", sample, err)
+	}
+	return v
+}
+
+// TestServerAtlasDirSurvivesRestart is the serving-layer persistence
+// contract: a server restarted against the same -atlas-dir serves its
+// first repeat census as a store hit — no rebuild — and the store
+// counters on /metrics prove it.
+func TestServerAtlasDirSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	census := CensusRequest{Protocol: "naivemajority", N: 3}
+
+	// First server lifetime: the census builds and persists its atlases.
+	s1, hs1 := newTestServer(t, Options{AtlasDir: dir})
+	var view JobView
+	postJSON(t, hs1.URL+"/v1/census?wait=1", census, &view)
+	if view.State != StateDone {
+		t.Fatalf("first census state = %q, want done", view.State)
+	}
+	if hits := scrapeCounter(t, hs1.URL, `flpserve_atlas_store_ops_total{outcome="hit"}`); hits != 0 {
+		t.Fatalf("fresh store reported %v hits before any repeat", hits)
+	}
+	misses1 := scrapeCounter(t, hs1.URL, `flpserve_atlas_store_ops_total{outcome="miss"}`)
+	if misses1 == 0 {
+		t.Fatal("first census did not persist anything (no store misses)")
+	}
+	s1.Drain()
+	hs1.Close()
+
+	// Second lifetime, same directory: the repeat census must be answered
+	// from the store — hits, and not a single new build.
+	s2, hs2 := newTestServer(t, Options{AtlasDir: dir})
+	postJSON(t, hs2.URL+"/v1/census?wait=1", census, &view)
+	if view.State != StateDone {
+		t.Fatalf("repeat census state = %q, want done", view.State)
+	}
+	hits := scrapeCounter(t, hs2.URL, `flpserve_atlas_store_ops_total{outcome="hit"}`)
+	misses := scrapeCounter(t, hs2.URL, `flpserve_atlas_store_ops_total{outcome="miss"}`)
+	resumes := scrapeCounter(t, hs2.URL, `flpserve_atlas_store_ops_total{outcome="resume"}`)
+	if hits == 0 {
+		t.Fatalf("restarted server served the repeat census without store hits (hits=%v misses=%v)", hits, misses)
+	}
+	if misses != 0 || resumes != 0 {
+		t.Fatalf("restarted server rebuilt atlases it should have loaded: hits=%v misses=%v resumes=%v", hits, misses, resumes)
+	}
+	if hits != misses1 {
+		t.Fatalf("warm run hit %v artifacts, cold run persisted %v — coverage differs", hits, misses1)
+	}
+	s2.Drain()
+	hs2.Close()
+}
+
+// TestServerWithoutAtlasDirOmitsStoreMetrics: a memory-only server must
+// not export the store counter family at all.
+func TestServerWithoutAtlasDirOmitsStoreMetrics(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regexp.MustCompile(`flpserve_atlas_store_ops_total`).Match(body) {
+		t.Fatal("memory-only server exports store counters")
+	}
+	// The cache counter family is still there.
+	if !regexp.MustCompile(`flpserve_atlas_cache_lookups_total`).Match(body) {
+		t.Fatal("cache counters missing from scrape")
+	}
+}
