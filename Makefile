@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-short test-dist test-chaos test-serve test-store serve fuzz fuzz-conformance corpus bench bench-parallel bench-valency bench-serve bench-scaling bench-store bench-alloc vet
+.PHONY: all build test test-race test-short test-dist test-chaos test-serve test-store serve fuzz fuzz-conformance corpus bench bench-parallel bench-valency bench-serve bench-scaling bench-store bench-checkpoint bench-alloc vet
 
 all: build test
 
@@ -28,10 +28,11 @@ test-dist:
 
 # Fault injection under the race detector: the scripted kill sweep
 # (every worker × every level), mixed-fault chaos seeds, compression
-# negotiation, and the R=1 abort contract — the failover half of the
-# byte-identical guarantee.
+# negotiation, the R=1 abort contract, coordinator kills at every level
+# boundary with checkpoint resume, and worker rejoin — the recovery half
+# of the byte-identical guarantee.
 test-chaos:
-	$(GO) test -race -count=1 -run 'TestFailover|TestReplicasOne|TestChaos|TestCompression|TestInterrupt|TestWorkerDrain|TestWorkerLost|TestRetryAfterConnLoss' ./internal/distexplore
+	$(GO) test -race -count=1 -run 'TestFailover|TestReplicasOne|TestChaos|TestCompression|TestInterrupt|TestWorkerDrain|TestWorkerLost|TestRetryAfterConnLoss|TestCheckpoint|TestRejoin|TestLostShard' ./internal/distexplore
 
 test-short:
 	$(GO) test -short ./...
@@ -108,6 +109,13 @@ bench-scaling:
 # onethird kernel for quick CI legs.
 bench-store:
 	$(GO) run ./cmd/flpbench -experiment E24 $(STOREFLAGS)
+
+# The crash-recovery guardrail: baseline vs checkpointed runs (overhead
+# of the level-boundary write-behind) and crash-then-resume recovery
+# time, written to BENCH_checkpoint.json. Counts must agree with the
+# sequential engine in every scenario.
+bench-checkpoint:
+	$(GO) run ./cmd/flpbench -experiment E25
 
 # The allocation guardrail: the AllocsPerRun pins plus the hot-path
 # benchmarks the EXPERIMENTS.md numbers are regenerated from.

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		id         = flag.String("experiment", "all", "experiment id (E1..E24) or 'all'")
+		id         = flag.String("experiment", "all", "experiment id (E1..E25) or 'all'")
 		scale      = flag.Int("scale", 1, "multiply trial counts")
 		seed       = flag.Int64("seed", 1, "base seed")
 		workers    = flag.Int("workers", 0, "exploration workers: sets GOMAXPROCS, the default worker count of every exploration (0 = leave as is)")
@@ -33,6 +33,7 @@ func main() {
 		serveout   = flag.String("servebench-out", "BENCH_serve.json", "file E22 writes its serving-layer latencies to ('' disables)")
 		scaleout   = flag.String("scalebench-out", "BENCH_scaling.json", "file E23 writes its worker-scaling table to ('' disables)")
 		storeout   = flag.String("storebench-out", "BENCH_atlasstore.json", "file E24 writes its cold/warm/incremental store timings to ('' disables)")
+		ckout      = flag.String("ckbench-out", "BENCH_checkpoint.json", "file E25 writes its checkpoint-overhead and recovery timings to ('' disables)")
 		atlasDir   = flag.String("atlas-dir", "", "root directory for E24's persistent atlas stores, kept afterwards for inspection ('' = throwaway temp directories)")
 		smoke      = flag.Bool("smoke", false, "E23/E24 smoke mode: drop the wide-frontier kernels so CI matrix legs finish in seconds")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -57,7 +58,7 @@ func main() {
 	}
 
 	if *id != "all" {
-		tab, err := runOne(*id, sizes, outs{dist: *distout, val: *valout, fail: *failout, serve: *serveout, scale: *scaleout, store: *storeout, atlasDir: *atlasDir, smoke: *smoke})
+		tab, err := runOne(*id, sizes, outs{dist: *distout, val: *valout, fail: *failout, serve: *serveout, scale: *scaleout, store: *storeout, ck: *ckout, atlasDir: *atlasDir, smoke: *smoke})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flpbench: %v\n", err)
 			os.Exit(1)
@@ -73,7 +74,7 @@ func main() {
 		// smoke table never overwrites the committed full sweep. The
 		// wide-frontier kernel is minutes of wall clock by design — reach
 		// it with -experiment E23 (make bench-scaling).
-		o := outs{dist: *distout, val: *valout, fail: *failout, serve: *serveout, scale: *scaleout, store: *storeout, atlasDir: *atlasDir, smoke: *smoke}
+		o := outs{dist: *distout, val: *valout, fail: *failout, serve: *serveout, scale: *scaleout, store: *storeout, ck: *ckout, atlasDir: *atlasDir, smoke: *smoke}
 		if r.ID == "E23" {
 			o.smoke = true
 			o.scale = ""
@@ -127,16 +128,16 @@ func profiles(cpu, mem string) func() {
 // outs bundles the machine-readable output paths of the benchmark
 // experiments, plus the E23 smoke switch.
 type outs struct {
-	dist, val, fail, serve, scale, store string
-	atlasDir                             string
-	smoke                                bool
+	dist, val, fail, serve, scale, store, ck string
+	atlasDir                                 string
+	smoke                                    bool
 }
 
-// runOne dispatches one experiment. E19-E24 are special-cased so their
+// runOne dispatches one experiment. E19-E25 are special-cased so their
 // machine-readable comparisons land in BENCH_distexplore.json,
 // BENCH_valency.json, BENCH_failover.json, BENCH_serve.json,
-// BENCH_scaling.json, and BENCH_atlasstore.json alongside the printed
-// tables.
+// BENCH_scaling.json, BENCH_atlasstore.json, and BENCH_checkpoint.json
+// alongside the printed tables.
 func runOne(id string, sizes experiments.Sizes, o outs) (*experiments.Table, error) {
 	switch id {
 	case "E19":
@@ -190,6 +191,15 @@ func runOne(id string, sizes experiments.Sizes, o outs) (*experiments.Table, err
 			return nil, err
 		}
 		if err := writeJSON(o.store, bench); err != nil {
+			return nil, err
+		}
+		return tab, nil
+	case "E25":
+		tab, bench, err := experiments.E25CheckpointBench()
+		if err != nil {
+			return nil, err
+		}
+		if err := writeJSON(o.ck, bench); err != nil {
 			return nil, err
 		}
 		return tab, nil

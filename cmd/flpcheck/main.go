@@ -39,6 +39,8 @@ func main() {
 		cluster    = flag.String("cluster", "", "also run a distributed reachability census: 'loopback:W' spins up W in-process workers; otherwise comma-separated flpcluster worker addresses")
 		shards     = flag.Int("cluster-shards", 0, "visited-set shards for -cluster (0 = one per worker)")
 		creplicas  = flag.Int("cluster-replicas", 0, "replicas per shard for -cluster (0 = default 2; 1 disables failover)")
+		ckDir      = flag.String("checkpoint-dir", "", "durable level-boundary checkpoints for the -cluster census ('' = off)")
+		ckResume   = flag.Bool("resume", false, "resume the -cluster census from the newest matching checkpoint in -checkpoint-dir")
 		genseed    = flag.Uint64("genseed", 0, "check the generated protocol Derive(seed, DefaultDials(n)) instead of -protocol (0 = off)")
 		genspec    = flag.String("genspec", "", "check a generated protocol by its full gen: name (replays fuzzer reproducers; overrides -protocol and -n)")
 		conf       = flag.Bool("conformance", false, "run the cross-engine conformance harness on the selected protocol and exit")
@@ -119,7 +121,7 @@ func main() {
 		runAdversary(pr, *stages, *workers, unbounded)
 	}
 	if *cluster != "" {
-		runClusterCensus(pr, *name, *budget, *cluster, *shards, *creplicas, unbounded)
+		runClusterCensus(pr, *name, *budget, *cluster, *shards, *creplicas, unbounded, *ckDir, *ckResume)
 	}
 }
 
@@ -149,7 +151,7 @@ func runConformance(name string, n, budget int) {
 // one: a per-input reachability census over a worker cluster (in-process
 // loopback or live TCP workers started with `flpcluster worker`) must
 // reproduce the local counts exactly.
-func runClusterCensus(pr flp.Protocol, name string, budget int, spec string, shards, replicas int, unbounded bool) {
+func runClusterCensus(pr flp.Protocol, name string, budget int, spec string, shards, replicas int, unbounded bool, ckDir string, resume bool) {
 	fmt.Println("== Distributed reachability census ==")
 	if unbounded {
 		budget = 2000 // unbounded state spaces get the same bounded sweep as the other sections
@@ -164,6 +166,15 @@ func runClusterCensus(pr flp.Protocol, name string, budget int, spec string, sha
 		fatalf("%v", err)
 	}
 	defer cl.Close()
+	var cks *atlasstore.CheckpointStore
+	if ckDir != "" {
+		if cks, err = atlasstore.OpenCheckpoints(ckDir); err != nil {
+			fatalf("%v", err)
+		}
+		cks.SetLog(func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "flpcheck: "+format+"\n", args...)
+		})
+	}
 	fmt.Printf("  cluster: %d workers (%s), shards=%d, replicas=%d\n", len(addrs), strings.Join(addrs, ", "), shards, replicas)
 	for _, in := range flp.AllInputs(pr.N()) {
 		c, err := flp.Initial(pr, in)
@@ -173,7 +184,8 @@ func runClusterCensus(pr flp.Protocol, name string, budget int, spec string, sha
 		localCount, localExact := explore.CountReachable(pr, c, explore.Options{MaxConfigs: budget})
 		count, exact, err := cl.CountReachable(distexplore.Task{
 			Protocol: name, N: pr.N(), Inputs: in, Shards: shards, Replicas: replicas,
-			Options: explore.Options{MaxConfigs: budget},
+			Options:     explore.Options{MaxConfigs: budget},
+			Checkpoints: cks, Resume: resume,
 		})
 		if err != nil {
 			fatalf("%v", err)
@@ -181,6 +193,9 @@ func runClusterCensus(pr flp.Protocol, name string, budget int, spec string, sha
 		status := "matches local engine"
 		if count != localCount || exact != localExact {
 			status = fmt.Sprintf("MISMATCH: local engine found %d (exact=%v)", localCount, localExact)
+		}
+		if st := cl.RunStats(); cks != nil && st.ResumedLevel >= 0 {
+			status += fmt.Sprintf(" (resumed at level %d, %d nodes restored)", st.ResumedLevel, st.ResumedNodes)
 		}
 		fmt.Printf("  inputs %s: %d configurations (exact=%v) — %s\n", in, count, exact, status)
 	}

@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/flpsim/flp/internal/atlasstore"
 	"github.com/flpsim/flp/internal/distexplore"
 	"github.com/flpsim/flp/internal/explore"
 	"github.com/flpsim/flp/internal/model"
@@ -57,7 +58,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: flpcluster <worker|explore|selftest> [flags]")
 	fmt.Fprintln(os.Stderr, "  flpcluster worker   -listen 127.0.0.1:9001")
-	fmt.Fprintln(os.Stderr, "  flpcluster explore  -cluster host:port,host:port -protocol naivemajority -n 3 [-inputs 0,1,1|all] [-shards S] [-replicas R] [-compress] [-compress-force] [-chaos spec]")
+	fmt.Fprintln(os.Stderr, "  flpcluster explore  -cluster host:port,host:port -protocol naivemajority -n 3 [-inputs 0,1,1|all] [-shards S] [-replicas R] [-compress] [-compress-force] [-chaos spec] [-checkpoint-dir D [-resume]] [-rejoin-wait DUR] [-kill-at-level L]")
 	fmt.Fprintln(os.Stderr, "  flpcluster selftest [-workers 3] [-shards 6] [-replicas 2] [-protocol naivemajority] [-n 3] [-budget B]")
 	fmt.Fprintln(os.Stderr, "  chaos spec: comma-separated keys seed=N drop=P delay=P delayfor=DUR trunc=P kill=WORKER@LEVEL")
 	os.Exit(2)
@@ -116,10 +117,17 @@ func runExplore(args []string) {
 		compress      = fs.Bool("compress", false, "offer wire-level frame compression (adaptive: skipped on in-process transports)")
 		compressForce = fs.Bool("compress-force", false, "negotiate frame compression regardless of transport locality")
 		chaos         = fs.String("chaos", "", "deterministic fault plan, e.g. seed=1,drop=0.02,kill=1@3")
+		ckDir         = fs.String("checkpoint-dir", "", "directory for durable level-boundary checkpoints ('' = checkpointing off)")
+		resume        = fs.Bool("resume", false, "restart from the newest matching checkpoint in -checkpoint-dir instead of from scratch")
+		rejoinWait    = fs.Duration("rejoin-wait", 0, "how long to wait for a replacement worker when a shard loses its last replica (0 = abort immediately)")
+		killAtLevel   = fs.Int("kill-at-level", 0, "SIGKILL this coordinator right after writing the level-N boundary checkpoint (crash injection for recovery drills)")
 	)
 	fs.Parse(args)
 	if *cluster == "" {
 		fatalf("explore: -cluster is required")
+	}
+	if *resume && *ckDir == "" {
+		fatalf("explore: -resume requires -checkpoint-dir")
 	}
 	addrs := strings.Split(*cluster, ",")
 	var tr distexplore.Transport = distexplore.TCP{}
@@ -130,7 +138,19 @@ func runExplore(args []string) {
 		}
 		tr = distexplore.NewFaultyTransport(tr, plan)
 	}
-	cl, err := distexplore.Dial(tr, addrs, distexplore.RPCOptions{Compress: *compress, CompressForce: *compressForce})
+	var cks *atlasstore.CheckpointStore
+	if *ckDir != "" {
+		var err error
+		if cks, err = atlasstore.OpenCheckpoints(*ckDir); err != nil {
+			fatalf("%v", err)
+		}
+		cks.SetLog(func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "flpcluster: "+format+"\n", args...)
+		})
+	}
+	cl, err := distexplore.Dial(tr, addrs, distexplore.RPCOptions{
+		Compress: *compress, CompressForce: *compressForce, RejoinWait: *rejoinWait,
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -160,10 +180,22 @@ func runExplore(args []string) {
 		*name, *n, len(addrs), *shards, effectiveReplicas(*replicas, len(addrs)))
 	done := 0
 	for _, in := range ins {
-		count, exact, err := cl.CountReachable(distexplore.Task{
+		task := distexplore.Task{
 			Protocol: *name, N: *n, Inputs: in, Shards: *shards, Replicas: *replicas,
-			Options: explore.Options{MaxConfigs: *budget, MaxDepth: *depth},
-		})
+			Options:     explore.Options{MaxConfigs: *budget, MaxDepth: *depth},
+			Checkpoints: cks, Resume: *resume,
+		}
+		if *killAtLevel > 0 {
+			task.CheckpointHook = func(level int) error {
+				if level >= *killAtLevel {
+					fmt.Printf("flpcluster explore: kill-at-level %d reached, SIGKILLing self\n", level)
+					os.Stdout.Sync()
+					syscall.Kill(os.Getpid(), syscall.SIGKILL)
+				}
+				return nil
+			}
+		}
+		count, exact, err := cl.CountReachable(task)
 		if err == distexplore.ErrInterrupted {
 			fmt.Printf("interrupted: %d of %d input vectors completed, inputs %s partial (%d configurations seen)\n",
 				done, len(ins), in, count)
@@ -177,6 +209,18 @@ func runExplore(args []string) {
 			suffix = " (budget-limited)"
 		}
 		fmt.Printf("  inputs %s: %d configurations%s\n", in, count, suffix)
+		if cks != nil {
+			st := cl.RunStats()
+			if st.ResumedLevel >= 0 {
+				fmt.Printf("    recovery: resumed at level %d (%d nodes restored); %d of %d expansions done live\n",
+					st.ResumedLevel, st.ResumedNodes, st.LiveExpanded, st.ExpandedNodes)
+			}
+			fmt.Printf("    checkpoints: %d boundary checkpoints written", st.Checkpoints)
+			if st.Rejoined > 0 {
+				fmt.Printf("; %d workers rejoined mid-run", st.Rejoined)
+			}
+			fmt.Println()
+		}
 		done++
 	}
 }

@@ -35,11 +35,14 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:8080", "address to serve on")
 		pool     = flag.Int("pool", 2, "job pool size (queries executing concurrently)")
 		depth    = flag.Int("queue", 64, "admission queue depth (waiting jobs beyond this get 503)")
-		atlasDir = flag.String("atlas-dir", "", "directory for the persistent atlas store; atlases survive restarts ('' = memory-only cache)")
+		atlasDir = flag.String("atlas-dir", "", "directory for the persistent atlas store and the durable job journal; atlases and admitted jobs survive restarts ('' = memory-only cache, nothing survives)")
 	)
 	flag.Parse()
 
-	s, err := serve.New(serve.Options{Workers: *pool, QueueDepth: *depth, AtlasDir: *atlasDir})
+	s, err := serve.New(serve.Options{
+		Workers: *pool, QueueDepth: *depth, AtlasDir: *atlasDir,
+		Log: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "flpserve: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,443 @@
+package atlasstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+)
+
+// Run checkpoints: the durable form of a distributed exploration's
+// coordinator state at a level boundary. The level-synchronous loop has a
+// natural consistent cut at the top of every level — all earlier levels are
+// fully expanded, deduped, and adopted; the pending level has been admitted
+// but nothing of it has been expanded — so the whole run is recoverable
+// from just the admitted node table (parent links, via events, canonical
+// keys) plus three scalars: where the pending level starts, whether the
+// ledger was already truncated, and how many nodes had been expanded. A
+// coordinator killed anywhere past the boundary restarts from it and
+// produces byte-identical counts, visit order, and witness schedules,
+// re-expanding nothing before the checkpointed level.
+//
+// The artifact discipline is the atlas store's: checksummed flat binary,
+// content-addressed filename, tmp+fsync+rename writes, and corruption
+// answered by detect-log-delete so a damaged checkpoint degrades to a
+// fresh start, never a wrong resume.
+
+// ckMagic identifies a run-checkpoint artifact (distinct from atlas
+// artifacts, which use magic "FLPATLS").
+var ckMagic = [8]byte{'F', 'L', 'P', 'C', 'K', 'P', 'T', 1}
+
+// ckFormatVersion is the checkpoint layout version; a mismatch is treated
+// like corruption (delete, restart from scratch).
+const ckFormatVersion uint32 = 1
+
+// ckFlagTruncated records that the run's ledger had already observed a
+// budget or depth cutoff at the boundary.
+const ckFlagTruncated uint32 = 1 << 0
+
+// RunKey identifies one resumable exploration: the problem (protocol, n,
+// root, avoid filter) plus the bounds. Unlike atlas lineages the bounds are
+// part of the identity — a checkpoint is a mid-flight cursor for one exact
+// run, not a reusable artifact — while the cluster layout (workers, shards,
+// replicas) is deliberately excluded: results are byte-identical across
+// layouts, so a checkpoint taken on one cluster resumes on another.
+type RunKey struct {
+	Protocol string
+	N        int
+	// RootKey is the exploration root's binary canonical key
+	// (model.Config.KeyBytes), prefix already applied.
+	RootKey []byte
+	// Avoid is the avoided event's wire key (model.Event.Key), "" when the
+	// run has no filter.
+	Avoid      string
+	MaxConfigs int
+	MaxDepth   int
+}
+
+// RunCheckpoint is a decoded checkpoint: the admitted node table as a
+// truncated AtlasSnapshot (no successor edges — SuccStart is [0] — so it
+// passes snapshot validation and replays through RestoreAtlasBuilder), the
+// index of the first pending-level node, the ledger's truncation flag, and
+// the cumulative count of expanded nodes across completed levels.
+type RunCheckpoint struct {
+	Snap      *explore.AtlasSnapshot
+	Start     int
+	Truncated bool
+	Expanded  int
+}
+
+// CheckpointStats is a snapshot of a checkpoint store's operation
+// counters.
+type CheckpointStats struct {
+	// Writes are boundary checkpoints persisted.
+	Writes int64
+	// Resumes are loads that found a matching checkpoint to restart from.
+	Resumes int64
+	// Corrupt counts checkpoints that failed validation (checksum, format,
+	// identity, or replay) and were deleted — the run restarts from scratch.
+	Corrupt int64
+	// Skips are resume requests that found no checkpoint (fresh start).
+	Skips int64
+}
+
+// CheckpointStore is a directory of run checkpoints, one file per RunKey.
+// It is safe for concurrent use; operations on one key serialize on a
+// per-key lock. Write failures are logged, never fatal — a run that cannot
+// checkpoint still completes, it just cannot be resumed.
+type CheckpointStore struct {
+	dir  string
+	logf func(format string, args ...any)
+
+	mu    sync.Mutex
+	locks map[string]*sync.Mutex
+
+	writes, resumes, corrupt, skips atomic.Int64
+}
+
+// OpenCheckpoints returns a checkpoint store rooted at dir, creating the
+// directory if needed.
+func OpenCheckpoints(dir string) (*CheckpointStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("atlasstore: checkpoints: %w", err)
+	}
+	return &CheckpointStore{dir: dir, logf: log.Printf, locks: make(map[string]*sync.Mutex)}, nil
+}
+
+// SetLog redirects the store's diagnostics; nil silences them.
+func (s *CheckpointStore) SetLog(f func(format string, args ...any)) {
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	s.logf = f
+}
+
+// Dir returns the store's root directory.
+func (s *CheckpointStore) Dir() string { return s.dir }
+
+// Stats returns the cumulative operation counters.
+func (s *CheckpointStore) Stats() CheckpointStats {
+	return CheckpointStats{
+		Writes:  s.writes.Load(),
+		Resumes: s.resumes.Load(),
+		Corrupt: s.corrupt.Load(),
+		Skips:   s.skips.Load(),
+	}
+}
+
+// file is the content-addressed checkpoint path: a SHA-256 over the
+// length-prefixed identity fields.
+func (s *CheckpointStore) file(key RunKey) string {
+	h := sha256.New()
+	var lenb [8]byte
+	writeField := func(p []byte) {
+		binary.LittleEndian.PutUint64(lenb[:], uint64(len(p)))
+		h.Write(lenb[:])
+		h.Write(p)
+	}
+	writeField([]byte(key.Protocol))
+	binary.LittleEndian.PutUint64(lenb[:], uint64(key.N))
+	h.Write(lenb[:])
+	writeField(key.RootKey)
+	writeField([]byte(key.Avoid))
+	binary.LittleEndian.PutUint64(lenb[:], uint64(key.MaxConfigs))
+	h.Write(lenb[:])
+	binary.LittleEndian.PutUint64(lenb[:], uint64(key.MaxDepth))
+	h.Write(lenb[:])
+	return filepath.Join(s.dir, hex.EncodeToString(h.Sum(nil))+".ckpt")
+}
+
+func (s *CheckpointStore) lockKey(path string) func() {
+	s.mu.Lock()
+	l, ok := s.locks[path]
+	if !ok {
+		l = &sync.Mutex{}
+		s.locks[path] = l
+	}
+	s.mu.Unlock()
+	l.Lock()
+	return l.Unlock
+}
+
+// Save persists a boundary checkpoint atomically (temp file, fsync,
+// rename), superseding any previous checkpoint for the key. Failures are
+// logged, never fatal.
+func (s *CheckpointStore) Save(key RunKey, ck *RunCheckpoint) {
+	path := s.file(key)
+	defer s.lockKey(path)()
+	data := encodeCheckpoint(key, ck)
+	tmp, err := os.CreateTemp(s.dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		s.logf("atlasstore: checkpoint write %s: %v", path, err)
+		return
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		s.logf("atlasstore: checkpoint write %s: %v", path, err)
+		return
+	}
+	s.writes.Add(1)
+}
+
+// Load reads the key's checkpoint: nil when none exists (counted as a
+// skip — the resume degrades to a fresh start) or when the file fails
+// validation (counted as corrupt, logged, and deleted so the rerun starts
+// clean). A non-nil result has passed checksum, format, identity, and
+// shape checks; the caller still replays it through RestoreAtlasBuilder,
+// reporting a replay failure back via Discard.
+func (s *CheckpointStore) Load(key RunKey) *RunCheckpoint {
+	path := s.file(key)
+	defer s.lockKey(path)()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.logf("atlasstore: checkpoint read %s: %v", path, err)
+		}
+		s.skips.Add(1)
+		return nil
+	}
+	ck, err := decodeCheckpoint(key, data)
+	if err != nil {
+		s.drop(path, err)
+		return nil
+	}
+	s.resumes.Add(1)
+	return ck
+}
+
+// Discard deletes the key's checkpoint because post-load validation
+// (snapshot replay) rejected it; counted as corruption.
+func (s *CheckpointStore) Discard(key RunKey, err error) {
+	path := s.file(key)
+	defer s.lockKey(path)()
+	s.drop(path, err)
+}
+
+// Clear removes the key's checkpoint after a run completes — a finished
+// run has nothing to resume.
+func (s *CheckpointStore) Clear(key RunKey) {
+	path := s.file(key)
+	defer s.lockKey(path)()
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		s.logf("atlasstore: checkpoint clear %s: %v", path, err)
+	}
+}
+
+// drop logs and deletes a damaged checkpoint; the run restarts from
+// scratch. Callers hold the key lock.
+func (s *CheckpointStore) drop(path string, err error) {
+	s.corrupt.Add(1)
+	s.logf("atlasstore: checkpoint %s: %v (deleting; restarting from scratch)", filepath.Base(path), err)
+	if rmErr := os.Remove(path); rmErr != nil && !os.IsNotExist(rmErr) {
+		s.logf("atlasstore: remove %s: %v", path, rmErr)
+	}
+}
+
+// encodeCheckpoint renders a checkpoint to its on-disk bytes: fixed
+// header, identity fields, event dictionary, node columns, key table,
+// CRC-32C trailer — the atlas artifact's discipline with the checkpoint's
+// scalars in place of edge columns.
+func encodeCheckpoint(key RunKey, ck *RunCheckpoint) []byte {
+	snap := ck.Snap
+	dict := make([]model.Event, 0, 16)
+	dictIdx := make(map[string]uint32)
+	parentViaIdx := make([]uint32, len(snap.ParentVia))
+	for i, e := range snap.ParentVia {
+		k := e.Key()
+		j, ok := dictIdx[k]
+		if !ok {
+			j = uint32(len(dict))
+			dict = append(dict, e)
+			dictIdx[k] = j
+		}
+		parentViaIdx[i] = j
+	}
+
+	var b []byte
+	b = append(b, ckMagic[:]...)
+	b = binary.LittleEndian.AppendUint32(b, ckFormatVersion)
+	var flags uint32
+	if ck.Truncated {
+		flags |= ckFlagTruncated
+	}
+	b = binary.LittleEndian.AppendUint32(b, flags)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(snap.Depth))) // V
+	b = binary.LittleEndian.AppendUint64(b, uint64(ck.Start))
+	b = binary.LittleEndian.AppendUint64(b, uint64(ck.Expanded))
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(dict))) // D
+	b = appendBytes(b, []byte(key.Protocol))
+	b = binary.LittleEndian.AppendUint64(b, uint64(key.N))
+	b = appendBytes(b, key.RootKey)
+	b = appendBytes(b, []byte(key.Avoid))
+	b = binary.LittleEndian.AppendUint64(b, uint64(key.MaxConfigs))
+	b = binary.LittleEndian.AppendUint64(b, uint64(key.MaxDepth))
+
+	for _, e := range dict {
+		if e.Msg == nil {
+			b = append(b, 0)
+			b = binary.LittleEndian.AppendUint64(b, uint64(int64(e.P)))
+		} else {
+			b = append(b, 1)
+			b = binary.LittleEndian.AppendUint64(b, uint64(int64(e.P)))
+			b = binary.LittleEndian.AppendUint64(b, uint64(int64(e.Msg.To)))
+			b = binary.LittleEndian.AppendUint64(b, uint64(int64(e.Msg.From)))
+			b = appendBytes(b, []byte(e.Msg.Body))
+		}
+	}
+
+	b = appendI32s(b, snap.Depth)
+	b = appendI32s(b, snap.Parent)
+	b = appendU32s(b, parentViaIdx)
+
+	b = binary.LittleEndian.AppendUint64(b, 0)
+	off := uint64(0)
+	for _, k := range snap.Keys {
+		off += uint64(len(k))
+		b = binary.LittleEndian.AppendUint64(b, off)
+	}
+	for _, k := range snap.Keys {
+		b = append(b, k...)
+	}
+
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+	return b
+}
+
+// decodeCheckpoint parses and validates on-disk bytes against the
+// requested key. Every failure is a *corruptError; the store logs, deletes,
+// and the run restarts from scratch.
+func decodeCheckpoint(key RunKey, b []byte) (*RunCheckpoint, error) {
+	if len(b) < len(ckMagic)+4+4+4 {
+		return nil, corruptf("short checkpoint (%d bytes)", len(b))
+	}
+	body, trailer := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(trailer) {
+		return nil, corruptf("checksum mismatch")
+	}
+	r := &reader{b: body}
+	var m [8]byte
+	copy(m[:], r.bytes(8))
+	if r.err != nil || m != ckMagic {
+		return nil, corruptf("bad magic")
+	}
+	if v := r.u32(); v != ckFormatVersion {
+		return nil, corruptf("checkpoint format version %d (want %d)", v, ckFormatVersion)
+	}
+	flags := r.u32()
+	V := r.count()
+	start := r.count()
+	expanded := r.count()
+	D := r.count()
+	protoName := string(r.blob())
+	// The identity bounds are run parameters, not file-sized counts — a
+	// budget of 10M is plausible in a file of 200 bytes — so they bypass
+	// count()'s file-length clamp and are validated by the identity
+	// cross-check below instead.
+	n := int(r.u64())
+	rootKey := r.blob()
+	avoid := string(r.blob())
+	maxConfigs := int(r.u64())
+	maxDepth := int(r.u64())
+	if r.err != nil {
+		return nil, corruptf("truncated header")
+	}
+	if V == 0 || start < 1 || start >= V {
+		return nil, corruptf("implausible counts V=%d start=%d", V, start)
+	}
+	if protoName != key.Protocol || n != key.N || !bytes.Equal(rootKey, key.RootKey) ||
+		avoid != key.Avoid || maxConfigs != key.MaxConfigs || maxDepth != key.MaxDepth {
+		return nil, corruptf("checkpoint identity does not match the requested run")
+	}
+
+	dict := make([]model.Event, D)
+	for i := range dict {
+		switch kind := r.u8(); kind {
+		case 0:
+			dict[i] = model.Event{P: model.PID(r.i64())}
+		case 1:
+			p := model.PID(r.i64())
+			to := model.PID(r.i64())
+			from := model.PID(r.i64())
+			body := string(r.blob())
+			msg := model.Message{To: to, From: from, Body: body}
+			dict[i] = model.Event{P: p, Msg: &msg}
+		default:
+			if r.err == nil {
+				return nil, corruptf("unknown event kind %d", kind)
+			}
+		}
+		if r.err != nil {
+			return nil, corruptf("truncated event dictionary")
+		}
+	}
+
+	depth := r.i32s(V)
+	parent := r.i32s(V)
+	parentViaIdx := r.u32s(V)
+	keyOff := r.u64s(V + 1)
+	if r.err != nil {
+		return nil, corruptf("truncated columns")
+	}
+	blobLen := keyOff[V]
+	if blobLen > uint64(len(r.b)-r.off) {
+		return nil, corruptf("key blob overruns file")
+	}
+	keyBlob := r.bytes(int(blobLen))
+	if r.err != nil || r.off != len(r.b) {
+		return nil, corruptf("trailing or missing bytes")
+	}
+
+	keys := make([][]byte, V)
+	for i := range keys {
+		lo, hi := keyOff[i], keyOff[i+1]
+		if lo > hi || hi > blobLen {
+			return nil, corruptf("key offsets not monotonic")
+		}
+		keys[i] = keyBlob[lo:hi]
+	}
+	parentVia, err := viaColumn(parentViaIdx, dict)
+	if err != nil {
+		return nil, err
+	}
+	// Boundary invariant: admission order is breadth-first (depths
+	// non-decreasing) and nodes [start, V) are exactly the pending level —
+	// one contiguous run at the deepest depth, starting right after a node
+	// one level shallower.
+	for i := 1; i < V; i++ {
+		if depth[i] < depth[i-1] {
+			return nil, corruptf("node depths not in admission order at %d", i)
+		}
+	}
+	if depth[start] != depth[V-1] || depth[start-1] != depth[start]-1 {
+		return nil, corruptf("pending level [%d,%d) is not a level boundary", start, V)
+	}
+	snap := &explore.AtlasSnapshot{
+		Depth: depth, Parent: parent, ParentVia: parentVia,
+		SuccStart: []int32{0}, Keys: keys,
+	}
+	return &RunCheckpoint{
+		Snap:      snap,
+		Start:     start,
+		Truncated: flags&ckFlagTruncated != 0,
+		Expanded:  expanded,
+	}, nil
+}

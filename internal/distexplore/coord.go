@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/flpsim/flp/internal/atlasstore"
 	"github.com/flpsim/flp/internal/explore"
 	"github.com/flpsim/flp/internal/model"
 )
@@ -55,6 +56,19 @@ type RPCOptions struct {
 	// differential tests and E21's compressed scenarios) or for an
 	// in-process transport proxying to somewhere expensive after all.
 	CompressForce bool
+	// RejoinWait, when positive, converts a shard-coverage loss (every
+	// replica of some shard dead) from a hard abort into a bounded wait: the
+	// coordinator polls the dead workers' addresses until a replacement
+	// process answers, re-initializes it, backfills the admitted state for
+	// every shard it replicates, and retries the failed phase — results stay
+	// byte-identical because the backfill reconstructs exactly the state a
+	// live replica would hold at the level boundary. On timeout the run
+	// aborts with the usual coverage-loss diagnostic, extended with how long
+	// it waited. 0 (the default) preserves the abort-immediately behaviour.
+	RejoinWait time.Duration
+	// RejoinPoll is the interval between replacement-worker dial attempts
+	// during a RejoinWait. Default 100ms.
+	RejoinPoll time.Duration
 	// Provider resolves protocol names at the coordinator; it must agree
 	// with the workers' provider. Default: the built-in registry.
 	Provider ProtocolProvider
@@ -83,6 +97,9 @@ func (o RPCOptions) withDefaults() RPCOptions {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.RejoinPoll <= 0 {
+		o.RejoinPoll = 100 * time.Millisecond
 	}
 	if o.Provider == nil {
 		o.Provider = RegistryProvider
@@ -140,6 +157,27 @@ type Task struct {
 	// worker processes (see explore.Options.Workers for the full
 	// Workers-versus-Shards contract).
 	Options explore.Options
+	// Checkpoints, when non-nil, makes the run crash-recoverable: at every
+	// level boundary the coordinator durably records the admitted node
+	// table, ledger flags, and expansion counters, keyed by the task's
+	// identity (protocol + root key + avoid event + bounds — deliberately
+	// not the cluster layout, so a resume may use different workers, shards,
+	// or replication). The checkpoint is cleared on any deliberate end of
+	// the run (completion or an early-stopping visit) and kept on crashes
+	// and interrupts.
+	Checkpoints *atlasstore.CheckpointStore
+	// Resume asks Explore to restart from the newest checkpoint matching
+	// this task's identity, if one exists: the node table is restored and
+	// re-verified by replay, worker state is backfilled, visit callbacks for
+	// the completed prefix are replayed, and the level loop re-enters at the
+	// first pending level — re-expanding nothing before it. Without a
+	// matching (or valid) checkpoint the run starts fresh.
+	Resume bool
+	// CheckpointHook, when non-nil, runs after each durable checkpoint
+	// write with the level about to start. It exists for crash injection —
+	// flpcluster's -kill-at-level sends the coordinator process SIGKILL from
+	// it — and for tests; a non-nil error aborts the run.
+	CheckpointHook func(level int) error
 }
 
 // WorkerError is a failure reported by a worker itself (as opposed to a
@@ -186,7 +224,36 @@ type Cluster struct {
 	opt         RPCOptions
 	workers     []*workerConn
 	interrupted atomic.Bool
+	stats       RunStats
 }
+
+// RunStats are recovery-relevant counters of the most recent Explore call,
+// reset at its start. They pin the "resume re-expands nothing" contract:
+// after a resumed run, ExpandedNodes equals the uninterrupted run's total
+// while LiveExpanded counts only the nodes expanded after the restored
+// level — their difference is exactly the restored prefix.
+type RunStats struct {
+	// ExpandedNodes is the cumulative number of admitted nodes whose level
+	// ran an expansion phase, including levels restored from a checkpoint.
+	ExpandedNodes int
+	// LiveExpanded counts only nodes expanded by this process — zero work
+	// re-done before the resumed level.
+	LiveExpanded int
+	// ResumedNodes is the size of the node table restored from a
+	// checkpoint (0 on a fresh run).
+	ResumedNodes int
+	// ResumedLevel is the first pending level after the restore, or -1 on
+	// a fresh run.
+	ResumedLevel int
+	// Checkpoints is how many level-boundary checkpoints this run wrote.
+	Checkpoints int
+	// Rejoined is how many replacement workers were re-admitted mid-run.
+	Rejoined int
+}
+
+// RunStats reports the counters of the most recent Explore call. Like
+// Explore itself it is not safe for concurrent use.
+func (cl *Cluster) RunStats() RunStats { return cl.stats }
 
 // Dial connects to every worker address eagerly, so a dead cluster member
 // surfaces before any exploration state exists.
@@ -640,6 +707,12 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 	}
 	rs := newReplicaSet(shards, W, replicas)
 	cl.interrupted.Store(false)
+	cl.stats = RunStats{ResumedLevel: -1}
+	if t.Checkpoints != nil {
+		rs.ckDesc = fmt.Sprintf("no checkpoint written yet in %s", t.Checkpoints.Dir())
+	} else {
+		rs.ckDesc = "checkpointing disabled"
+	}
 
 	pr, err := cl.opt.Provider(t.Protocol, t.N)
 	if err != nil {
@@ -675,10 +748,23 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 
 	led := explore.NewLedger(eopt)
 	nodes := []nodeRec{{parent: -1, depth: 0}}
+	// Configurations are materialized at the coordinator whenever the run
+	// itself consumes them: visit callbacks and rejoin backfills (which
+	// replay admitted state to replacement workers). Checkpoint snapshots
+	// also need them, but only on the write-behind goroutine — when nothing
+	// else wants configs, the writer derives its own copy off the critical
+	// path (see wcfgs below) and the coordinator stays as lean as an
+	// uncheckpointed run.
+	needCfgs := visit != nil || cl.opt.RejoinWait > 0
 	var cfgs []*model.Config
-	if visit != nil {
+	if needCfgs {
 		cfgs = []*model.Config{root}
 	}
+	// wcfgs is the write-behind goroutine's private config chain, extended
+	// lazily inside save closures (which run strictly sequentially). Only
+	// initialization happens on this goroutine, ordered before any enqueue
+	// by the channel send.
+	wcfgs := []*model.Config{root}
 
 	scheduleOf := func(i int) model.Schedule {
 		var rev model.Schedule
@@ -695,22 +781,264 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 		return func() model.Schedule { return scheduleOf(i) }
 	}
 
-	// Adopt the root into every replica of its owning shard so level 0 has
-	// a frontier wherever it may be needed.
-	err = cl.adoptPhase(rs, 0, []adoptNode{{Index: 0, Depth: 0, Key: root.Key()}})
-	if err != nil {
-		return false, 0, err
+	// backfillWorker replays the admitted node table into one freshly
+	// re-initialized replacement worker: every level's nodes for the shards
+	// it replicates, re-adopted in admission order. Adoption interns each
+	// key into the worker's visited slice and rebuilds its frontier, so
+	// after the backfill the replacement holds exactly the state a live
+	// replica carries at this boundary. Depth-capped levels are skipped
+	// just as the original run never adopted them.
+	backfillWorker := func(w int) error {
+		for lo := 0; lo < len(nodes); {
+			hi, d := lo, nodes[lo].depth
+			for hi < len(nodes) && nodes[hi].depth == d {
+				hi++
+			}
+			if !eopt.DepthCapped(d) {
+				var mine []adoptNode
+				for i := lo; i < hi; i++ {
+					s := ownerShard(model.HashKey(cfgs[i].Key()), shards)
+					if workerReplicatesShard(w, s, W, replicas) {
+						mine = append(mine, adoptNode{
+							Index: uint64(i), Depth: uint64(d),
+							Key: cfgs[i].Key(), Schedule: scheduleOf(i),
+						})
+					}
+				}
+				if len(mine) > 0 {
+					if err := cl.expectOK(w, frameAdopt, encodeAdoptReq(d, mine)); err != nil {
+						return err
+					}
+				}
+			}
+			lo = hi
+		}
+		return nil
+	}
+
+	// rejoinShard waits up to RejoinWait for a replacement process to
+	// answer on a dead replica's address, then re-initializes and backfills
+	// it. Reviving is safe precisely because the replacement is rebuilt
+	// from scratch: frameInit discards whatever stale state the address
+	// held, and the backfill re-derives live-replica state from the
+	// coordinator's own admitted table.
+	rejoinShard := func(shard int) bool {
+		deadline := time.Now().Add(cl.opt.RejoinWait)
+		for {
+			for _, w := range rs.replicasOf(shard) {
+				if rs.live(w) {
+					continue
+				}
+				if cl.redial(w) != nil {
+					continue
+				}
+				req := initReq{
+					Protocol: t.Protocol, N: t.N, Inputs: t.Inputs, Prefix: t.Prefix,
+					Avoid: t.Avoid, Shards: shards, WorkerCount: W, WorkerIndex: w,
+					Replicas: replicas,
+				}
+				if cl.expectOK(w, frameInit, req.encode()) != nil {
+					continue
+				}
+				if backfillWorker(w) != nil {
+					continue
+				}
+				rs.revive(w)
+				cl.stats.Rejoined++
+				return true
+			}
+			if time.Now().After(deadline) {
+				return false
+			}
+			time.Sleep(cl.opt.RejoinPoll)
+		}
+	}
+
+	// withRejoin runs one RPC phase, converting a shard-coverage loss into
+	// a bounded wait for a replacement worker when rejoin is enabled. The
+	// phase retry is safe: expansion is pure, and the per-level idempotency
+	// guards on surviving workers answer retried dedups from cache and
+	// absorb retried adopts as no-ops.
+	withRejoin := func(phase func() error) error {
+		for {
+			perr := phase()
+			if perr == nil || cl.opt.RejoinWait <= 0 {
+				return perr
+			}
+			var sl *shardLostError
+			if !errors.As(perr, &sl) {
+				return perr
+			}
+			if !rejoinShard(sl.shard) {
+				return fmt.Errorf("%w; waited %v for a replacement worker to rejoin, none arrived",
+					perr, cl.opt.RejoinWait)
+			}
+		}
+	}
+
+	// Checkpoint identity: the problem plus bounds, not the cluster layout —
+	// results are byte-identical across layouts, so a checkpoint taken on
+	// one cluster may resume on another.
+	var ckKey atlasstore.RunKey
+	var ckw *ckWriter
+	if t.Checkpoints != nil {
+		ckKey = atlasstore.RunKey{
+			Protocol: t.Protocol, N: t.N, RootKey: root.KeyBytes(),
+			MaxConfigs: eopt.MaxConfigs, MaxDepth: eopt.MaxDepth,
+		}
+		if t.Avoid != nil {
+			ckKey.Avoid = t.Avoid.Key()
+		}
+		// Boundary writes run on a background goroutine so the encode and
+		// fsync overlap the next level's RPC phases instead of stalling
+		// them. This deferred close drains the queue before Explore
+		// returns on ANY path, so every enqueued boundary is durable by
+		// the time the caller observes the result — including the error
+		// paths a resume will later recover from.
+		ckw = newCkWriter()
+		defer ckw.close()
+	}
+
+	start, end := 0, 1
+	resumed := false
+	if t.Resume && t.Checkpoints != nil {
+		if ck := t.Checkpoints.Load(ckKey); ck != nil {
+			b, rerr := explore.RestoreAtlasBuilder(pr, root, ck.Snap)
+			if rerr != nil {
+				// Replay-level corruption: drop the checkpoint and fall
+				// through to a fresh start.
+				t.Checkpoints.Discard(ckKey, rerr)
+			} else {
+				wcfgs = b.Configs()
+				if needCfgs {
+					cfgs = wcfgs
+				}
+				nodes = make([]nodeRec, len(wcfgs))
+				for i := range nodes {
+					nodes[i] = nodeRec{
+						parent: int(ck.Snap.Parent[i]),
+						depth:  int(ck.Snap.Depth[i]),
+						via:    ck.Snap.ParentVia[i],
+					}
+				}
+				led.Count = len(nodes)
+				led.Truncated = ck.Truncated
+				start, end = ck.Start, len(nodes)
+				cl.stats.ResumedNodes = len(nodes)
+				cl.stats.ResumedLevel = nodes[start].depth
+				cl.stats.ExpandedNodes = ck.Expanded
+				rs.ckDesc = fmt.Sprintf("last-good checkpoint: level %d in %s",
+					nodes[start].depth, t.Checkpoints.Dir())
+				resumed = true
+			}
+		}
+	}
+
+	if resumed {
+		// Backfill every worker with the restored admitted state — the
+		// same per-level adoption the original run performed. Skipped
+		// entirely when the budget is sealed: no expansion will ever run
+		// again, so no worker needs state.
+		if !led.Sealed() {
+			for lo := 0; lo < len(nodes); {
+				hi, d := lo, nodes[lo].depth
+				for hi < len(nodes) && nodes[hi].depth == d {
+					hi++
+				}
+				if !eopt.DepthCapped(d) {
+					adopts := make([]adoptNode, 0, hi-lo)
+					for i := lo; i < hi; i++ {
+						// wcfgs holds the restored config table; safe to read
+						// here because nothing has been enqueued to the
+						// write-behind yet (its first job comes from the
+						// level loop below).
+						adopts = append(adopts, adoptNode{
+							Index: uint64(i), Depth: uint64(d),
+							Key: wcfgs[i].Key(), Schedule: scheduleOf(i),
+						})
+					}
+					if aerr := cl.adoptPhase(rs, d, adopts); aerr != nil {
+						return false, 0, aerr
+					}
+				}
+				lo = hi
+			}
+		}
+		// Replay the completed prefix's visits so callers observe the same
+		// stream an uninterrupted run would produce (visit callbacks must
+		// be deterministic for resume to be transparent).
+		if visit != nil {
+			for i := 0; i < start; i++ {
+				if visit(cfgs[i], nodes[i].depth, pathOf(i)) {
+					ckw.discard()
+					t.Checkpoints.Clear(ckKey) // deliberate end; nothing to resume
+					return false, len(nodes), nil
+				}
+			}
+		}
+	} else {
+		// Adopt the root into every replica of its owning shard so level 0
+		// has a frontier wherever it may be needed.
+		err = cl.adoptPhase(rs, 0, []adoptNode{{Index: 0, Depth: 0, Key: root.Key()}})
+		if err != nil {
+			return false, 0, err
+		}
 	}
 
 	// Level loop. Levels are contiguous index ranges, exactly as in the
 	// in-process parallel engine; each iteration runs up to three RPC
 	// phases (expand, dedup, adopt) and merges between them in canonical
 	// (parent index, successor index) order.
-	for start, end := 0, 1; start < end; start, end = end, len(nodes) {
+	for ; start < end; start, end = end, len(nodes) {
 		if cl.interrupted.Load() {
+			// The last boundary checkpoint (if any) stays on disk: an
+			// interrupted run is resumable by construction.
 			return false, start, ErrInterrupted
 		}
 		level := nodes[start].depth
+		rs.level = level
+
+		// Durable cut: every level before this one is fully expanded,
+		// deduped, and adopted; nothing of this level is expanded yet.
+		// Enqueued before the level runs and drained before Explore
+		// returns, so a crash anywhere inside the level restarts from this
+		// boundary. The snapshot captures frozen slice prefixes: the node
+		// table and config list are append-only, so the background encode
+		// reads them race-free while this level grows the tail.
+		if t.Checkpoints != nil && start > 0 {
+			ckNodes := nodes[:end:end]
+			var ckCfgs []*model.Config
+			if needCfgs {
+				ckCfgs = cfgs[:end:end]
+			}
+			ck := &atlasstore.RunCheckpoint{
+				Start:     start,
+				Truncated: led.Truncated,
+				Expanded:  cl.stats.ExpandedNodes,
+			}
+			ckw.enqueue(func() {
+				if ckCfgs == nil {
+					// Derive the missing configs here, off the critical
+					// path: replay each admitted node's edge from its
+					// parent. The chain persists across boundaries, so
+					// the whole run pays one MustApply per node total.
+					for i := len(wcfgs); i < len(ckNodes); i++ {
+						wcfgs = append(wcfgs, model.MustApply(pr, wcfgs[ckNodes[i].parent], ckNodes[i].via))
+					}
+					ckCfgs = wcfgs[:len(ckNodes)]
+				}
+				ck.Snap = checkpointSnapshot(ckNodes, ckCfgs)
+				t.Checkpoints.Save(ckKey, ck)
+			})
+			cl.stats.Checkpoints++
+			rs.ckDesc = fmt.Sprintf("last-good checkpoint: level %d in %s", level, t.Checkpoints.Dir())
+			if t.CheckpointHook != nil {
+				ckw.flush() // the hook may crash the process; the boundary must be on disk first
+				if herr := t.CheckpointHook(level); herr != nil {
+					return false, 0, fmt.Errorf("distexplore: checkpoint hook at level %d: %w", level, herr)
+				}
+			}
+		}
 
 		// Phase 1+2: expand the level and dedup its candidates, skipped
 		// when no node of this level may grow the frontier (sealed budget,
@@ -718,10 +1046,16 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 		// breadth-first order, so the cap is uniform across the level).
 		var fresh []candidate
 		if !led.Sealed() && !eopt.DepthCapped(level) {
-			all, err := cl.expandPhase(rs, level)
-			if err != nil {
-				return false, 0, err
+			var all []candidate
+			if perr := withRejoin(func() error {
+				var e error
+				all, e = cl.expandPhase(rs, level)
+				return e
+			}); perr != nil {
+				return false, 0, perr
 			}
+			cl.stats.ExpandedNodes += end - start
+			cl.stats.LiveExpanded += end - start
 
 			// Global merge order: candidates sorted by (parent node index,
 			// successor index within the parent's canonical expansion) is
@@ -736,9 +1070,12 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 				return all[i].SuccIdx < all[j].SuccIdx
 			})
 
-			fresh, err = cl.dedupPhase(rs, level, all)
-			if err != nil {
-				return false, 0, err
+			if perr := withRejoin(func() error {
+				var e error
+				fresh, e = cl.dedupPhase(rs, level, all)
+				return e
+			}); perr != nil {
+				return false, 0, perr
 			}
 		}
 
@@ -749,6 +1086,10 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 		var adopts []adoptNode
 		for i := start; i < end; i++ {
 			if visit != nil && visit(cfgs[i], nodes[i].depth, pathOf(i)) {
+				if t.Checkpoints != nil {
+					ckw.discard()
+					t.Checkpoints.Clear(ckKey) // deliberate end; nothing to resume
+				}
 				return false, len(nodes), nil
 			}
 			if !led.ShouldExpand(nodes[i].depth) {
@@ -765,7 +1106,7 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 				}
 				idx := len(nodes)
 				nodes = append(nodes, nodeRec{parent: i, depth: nodes[i].depth + 1, via: c.Via})
-				if visit != nil {
+				if needCfgs {
 					cfgs = append(cfgs, model.MustApply(pr, cfgs[i], c.Via))
 				}
 				adopts = append(adopts, adoptNode{
@@ -779,12 +1120,155 @@ func (cl *Cluster) Explore(t Task, visit explore.Visit) (complete bool, visited 
 		// they can never be expanded (sealed budget, or the next level sits
 		// at the depth cap), in which case no worker needs them.
 		if len(adopts) > 0 && !led.Sealed() && !eopt.DepthCapped(level+1) {
-			if err := cl.adoptPhase(rs, level+1, adopts); err != nil {
-				return false, 0, err
+			if perr := withRejoin(func() error {
+				return cl.adoptPhase(rs, level+1, adopts)
+			}); perr != nil {
+				return false, 0, perr
 			}
 		}
 	}
+	if t.Checkpoints != nil {
+		ckw.discard()
+		t.Checkpoints.Clear(ckKey) // finished runs have nothing to resume
+	}
 	return led.Complete(), len(nodes), nil
+}
+
+// ckWriter is the boundary-checkpoint write-behind. Saves run on one
+// background goroutine with two cost bounds that never weaken what a fence
+// observes:
+//
+//   - Latest-wins coalescing: every boundary targets the same keyed file,
+//     so when writes queue up only the newest pending boundary is written
+//     and the superseded ones are dropped.
+//   - Time throttling: between fences, at most one physical write per
+//     ckWriteInterval; the newest boundary stays pending in memory. A
+//     crash with no fence can therefore lose up to the interval of
+//     progress — the resume just restarts one boundary earlier.
+//
+// The durable file after any fence is byte-identical to what synchronous
+// per-boundary writes would leave. flush() is that fence, used wherever
+// durability becomes observable: before a CheckpointHook (which may kill
+// the process) and via close() before Explore returns — so every error a
+// resume can recover from leaves the newest boundary on disk. discard()
+// is the fence for deliberate ends: it drops the pending boundary instead
+// of writing it, because the caller is about to Clear the file anyway.
+type ckItem struct {
+	save    func()
+	fence   chan struct{}
+	discard bool
+}
+
+type ckWriter struct {
+	jobs chan ckItem
+	done chan struct{}
+}
+
+const ckWriteInterval = 100 * time.Millisecond
+
+func newCkWriter() *ckWriter {
+	w := &ckWriter{jobs: make(chan ckItem, 16), done: make(chan struct{})}
+	go w.run()
+	return w
+}
+
+func (w *ckWriter) run() {
+	defer close(w.done)
+	var pending func()
+	lastWrite := time.Now() // runs shorter than the interval write only at fences
+	write := func() {
+		if pending != nil {
+			pending()
+			pending = nil
+			lastWrite = time.Now()
+		}
+	}
+	for it := range w.jobs {
+		// The coordinator is single-threaded and flush blocks it, so a
+		// drained batch is always saves in order with at most one fence,
+		// last.
+		batch := []ckItem{it}
+	drain:
+		for {
+			select {
+			case more, ok := <-w.jobs:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		fenced := false
+		for _, b := range batch {
+			if b.save != nil {
+				pending = b.save // latest wins; older boundaries are superseded
+			}
+			if b.fence != nil {
+				fenced = true
+				if b.discard {
+					pending = nil
+				}
+			}
+		}
+		if fenced || time.Since(lastWrite) >= ckWriteInterval {
+			write()
+		}
+		for _, b := range batch {
+			if b.fence != nil {
+				close(b.fence)
+			}
+		}
+	}
+	write() // channel close is Explore returning: a final implicit fence
+}
+
+func (w *ckWriter) enqueue(save func()) { w.jobs <- ckItem{save: save} }
+
+// flush blocks until the newest boundary enqueued before it is durable.
+func (w *ckWriter) flush() {
+	fence := make(chan struct{})
+	w.jobs <- ckItem{fence: fence}
+	<-fence
+}
+
+// discard blocks until the writer has dropped every pending boundary —
+// the fence before Clear, where writing one last checkpoint just to
+// delete it would be wasted work (and a save landing after Clear would
+// resurrect the file).
+func (w *ckWriter) discard() {
+	fence := make(chan struct{})
+	w.jobs <- ckItem{fence: fence, discard: true}
+	<-fence
+}
+
+// close flushes and stops the writer goroutine; call exactly once.
+func (w *ckWriter) close() {
+	close(w.jobs)
+	<-w.done
+}
+
+// checkpointSnapshot renders the coordinator's admitted node table as a
+// truncated AtlasSnapshot (no successor edges): exactly the columns
+// RestoreAtlasBuilder needs to replay and re-verify every configuration on
+// resume.
+func checkpointSnapshot(nodes []nodeRec, cfgs []*model.Config) *explore.AtlasSnapshot {
+	n := len(nodes)
+	snap := &explore.AtlasSnapshot{
+		Depth:     make([]int32, n),
+		Parent:    make([]int32, n),
+		ParentVia: make([]model.Event, n),
+		Keys:      make([][]byte, n),
+		SuccStart: []int32{0},
+	}
+	for i, nd := range nodes {
+		snap.Depth[i] = int32(nd.depth)
+		snap.Parent[i] = int32(nd.parent)
+		snap.ParentVia[i] = nd.via
+		snap.Keys[i] = cfgs[i].KeyBytes()
+	}
+	return snap
 }
 
 // CountReachable is the distributed counterpart of

@@ -56,6 +56,18 @@ type FaultPlan struct {
 	// first half of the frame's bytes and then severing the connection —
 	// the receiver sees a malformed, short read.
 	TruncateProb float64
+
+	// CoordKillLevel, when positive, scripts a *coordinator* crash: the
+	// first frame (to any worker) carrying a level ≥ CoordKillLevel is
+	// discarded and the whole transport goes dead — every live connection
+	// severed on its next frame, every later dial refused. From the
+	// exploration's point of view this is what the coordinator process
+	// being SIGKILLed at that point looks like: the run errors out
+	// mid-level, leaving whatever the checkpoint store last persisted as
+	// the only recoverable state. The chaos sweep uses it to crash runs
+	// deterministically at each level and verify that -resume restores
+	// byte-identical results.
+	CoordKillLevel int
 }
 
 // FaultyTransport wraps an inner Transport with a FaultPlan. It is safe
@@ -64,9 +76,11 @@ type FaultyTransport struct {
 	inner Transport
 	plan  FaultPlan
 
-	mu     sync.Mutex
-	killed map[string]bool
-	dials  map[string]int
+	mu        sync.Mutex
+	killed    map[string]bool
+	revived   map[string]bool
+	dials     map[string]int
+	coordDead bool
 }
 
 // NewFaultyTransport wraps inner with the given plan.
@@ -75,10 +89,11 @@ func NewFaultyTransport(inner Transport, plan FaultPlan) *FaultyTransport {
 		plan.Seed = 1
 	}
 	return &FaultyTransport{
-		inner:  inner,
-		plan:   plan,
-		killed: make(map[string]bool),
-		dials:  make(map[string]int),
+		inner:   inner,
+		plan:    plan,
+		killed:  make(map[string]bool),
+		revived: make(map[string]bool),
+		dials:   make(map[string]int),
 	}
 }
 
@@ -95,6 +110,10 @@ func (ft *FaultyTransport) InProcess() bool { return transportInProcess(ft.inner
 // dials to a crashed process would.
 func (ft *FaultyTransport) Dial(addr string, timeout time.Duration) (net.Conn, error) {
 	ft.mu.Lock()
+	if ft.coordDead {
+		ft.mu.Unlock()
+		return nil, fmt.Errorf("fault injection: coordinator is dead")
+	}
 	if ft.killed[addr] {
 		ft.mu.Unlock()
 		return nil, fmt.Errorf("fault injection: worker %s is dead", addr)
@@ -114,6 +133,35 @@ func (ft *FaultyTransport) kill(addr string) {
 	ft.mu.Lock()
 	ft.killed[addr] = true
 	ft.mu.Unlock()
+}
+
+// Revive clears a scripted worker kill: dials to addr succeed again and the
+// plan's KillAddr script does not re-fire for it — modeling a replacement
+// process taking over the dead worker's address. The replacement starts
+// blank; the coordinator's rejoin path re-initializes and backfills it.
+func (ft *FaultyTransport) Revive(addr string) {
+	ft.mu.Lock()
+	delete(ft.killed, addr)
+	ft.revived[addr] = true
+	ft.mu.Unlock()
+}
+
+func (ft *FaultyTransport) isRevived(addr string) bool {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.revived[addr]
+}
+
+func (ft *FaultyTransport) killCoord() {
+	ft.mu.Lock()
+	ft.coordDead = true
+	ft.mu.Unlock()
+}
+
+func (ft *FaultyTransport) coordKilled() bool {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.coordDead
 }
 
 func hashAddr(addr string) uint64 {
@@ -173,7 +221,18 @@ func (fc *faultConn) Write(p []byte) (int, error) {
 func (fc *faultConn) deliver(frame []byte) error {
 	plan := &fc.ft.plan
 
-	if plan.KillAddr == fc.addr {
+	if fc.ft.coordKilled() {
+		fc.Conn.Close()
+		return fmt.Errorf("fault injection: coordinator is dead")
+	}
+	if plan.CoordKillLevel > 0 {
+		if level, ok := frameLevel(frame); ok && level >= plan.CoordKillLevel {
+			fc.ft.killCoord()
+			fc.Conn.Close()
+			return fmt.Errorf("fault injection: coordinator killed at level %d", level)
+		}
+	}
+	if plan.KillAddr == fc.addr && !fc.ft.isRevived(fc.addr) {
 		if level, ok := frameLevel(frame); ok && level >= plan.KillLevel {
 			fc.ft.kill(fc.addr)
 			fc.Conn.Close()

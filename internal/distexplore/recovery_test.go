@@ -1,0 +1,290 @@
+package distexplore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/flpsim/flp/internal/atlasstore"
+	"github.com/flpsim/flp/internal/explore"
+	"github.com/flpsim/flp/internal/model"
+)
+
+// The recovery suite pins the crash-recoverability tentpole: a coordinator
+// killed at any point past a level boundary restarts from the last durable
+// checkpoint with byte-identical counts, visit order, and witness schedules,
+// re-expanding nothing before the checkpointed level (pinned by the
+// expansion counters); and a lost sole replica converts into a bounded
+// wait for a replacement worker instead of a hard abort.
+
+func openCheckpoints(t *testing.T, dir string) *atlasstore.CheckpointStore {
+	t.Helper()
+	cks, err := atlasstore.OpenCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cks.SetLog(t.Logf)
+	return cks
+}
+
+// ckptFiles lists the checkpoint artifacts currently in dir.
+func ckptFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// recoveryTask is the census kernel the sweep runs: deep enough for kills
+// at levels 1-4, truncated by budget like a production census.
+func recoveryTask() Task {
+	return Task{Protocol: "naivemajority", N: 3, Inputs: model.Inputs{0, 1, 1},
+		Options: explore.Options{MaxConfigs: 300}, Shards: 6, Replicas: 2}
+}
+
+// cleanCheckpointedRun runs the task uninterrupted with checkpointing on
+// and returns its observables plus RunStats — the oracle the crashed-and-
+// resumed runs are compared against.
+func cleanCheckpointedRun(t *testing.T, task Task, cks *atlasstore.CheckpointStore) (bool, int, []step, RunStats) {
+	t.Helper()
+	lb := NewLoopback()
+	addrs, _ := startWorkers(t, lb, []string{"cc0", "cc1", "cc2"})
+	cl := dialCluster(t, lb, addrs, failoverOptions())
+	task.Checkpoints = cks
+	c, v, s := distStream(t, cl, task)
+	return c, v, s, cl.RunStats()
+}
+
+// crashRun runs the task over a transport scripted to kill the coordinator
+// at the given level, with checkpointing on. It must fail; whatever the
+// store last persisted is the only surviving state.
+func crashRun(t *testing.T, task Task, cks *atlasstore.CheckpointStore, killLevel int) {
+	t.Helper()
+	ft := NewFaultyTransport(NewLoopback(), FaultPlan{CoordKillLevel: killLevel})
+	addrs, _ := startWorkers(t, ft, []string{"x0", "x1", "x2"})
+	cl := dialCluster(t, ft, addrs, failoverOptions())
+	task.Checkpoints = cks
+	_, _, err := cl.Explore(task, func(*model.Config, int, func() model.Schedule) bool { return false })
+	if err == nil {
+		t.Fatalf("coordinator kill at level %d did not abort the run", killLevel)
+	}
+	if !ft.coordKilled() {
+		t.Fatalf("fault plan never fired: coordinator was not killed at level %d", killLevel)
+	}
+}
+
+// resumeRun restarts the task with -resume semantics on a fresh cluster
+// and returns its observables and stats.
+func resumeRun(t *testing.T, task Task, cks *atlasstore.CheckpointStore) (bool, int, []step, RunStats) {
+	t.Helper()
+	lb := NewLoopback()
+	addrs, _ := startWorkers(t, lb, []string{"rr0", "rr1", "rr2"})
+	cl := dialCluster(t, lb, addrs, failoverOptions())
+	task.Checkpoints = cks
+	task.Resume = true
+	c, v, s := distStream(t, cl, task)
+	return c, v, s, cl.RunStats()
+}
+
+// TestCheckpointResumeCoordKillEachLevel is the chaos sweep: the
+// coordinator is killed at each level of the census kernel, then restarted
+// with resume on a fresh cluster. Every restart must be byte-identical to
+// the uninterrupted run, and the expansion counters must show zero
+// re-expanded nodes before the checkpointed level.
+func TestCheckpointResumeCoordKillEachLevel(t *testing.T) {
+	task := recoveryTask()
+	seqC, seqV, seq := seqStream(t, task)
+	cleanC, cleanV, clean, cleanStats := cleanCheckpointedRun(t, task, openCheckpoints(t, t.TempDir()))
+	compareStreams(t, "clean-checkpointed", seqC, seqV, seq, cleanC, cleanV, clean)
+
+	for killLevel := 1; killLevel <= 4; killLevel++ {
+		t.Run(fmt.Sprintf("coordkill-at-level%d", killLevel), func(t *testing.T) {
+			dir := t.TempDir()
+			cks := openCheckpoints(t, dir)
+			crashRun(t, task, cks, killLevel)
+
+			wantResume := killLevel >= 2 // level-1 frames fly before the first boundary write
+			if got := len(ckptFiles(t, dir)) > 0; got != wantResume {
+				t.Fatalf("after crash at level %d: checkpoint on disk = %v, want %v", killLevel, got, wantResume)
+			}
+
+			distC, distV, dist, st := resumeRun(t, task, cks)
+			compareStreams(t, fmt.Sprintf("resume-after-kill%d", killLevel), seqC, seqV, seq, distC, distV, dist)
+
+			// The expansion-counter pin: the resumed run's total equals the
+			// uninterrupted run's, and everything before the checkpointed
+			// level was restored, not re-expanded.
+			if st.ExpandedNodes != cleanStats.ExpandedNodes {
+				t.Errorf("expanded total %d, want %d", st.ExpandedNodes, cleanStats.ExpandedNodes)
+			}
+			if wantResume {
+				if st.ResumedLevel != killLevel-1 {
+					t.Errorf("resumed at level %d, want %d (the last completed boundary)", st.ResumedLevel, killLevel-1)
+				}
+				if st.ResumedNodes == 0 {
+					t.Error("resume restored zero nodes")
+				}
+				if st.LiveExpanded >= cleanStats.ExpandedNodes {
+					t.Errorf("resume re-expanded the restored prefix: live %d of %d total",
+						st.LiveExpanded, cleanStats.ExpandedNodes)
+				}
+				if st.LiveExpanded+st.ExpandedNodes-cleanStats.ExpandedNodes < 0 {
+					t.Errorf("inconsistent counters: %+v", st)
+				}
+			} else {
+				if st.ResumedLevel != -1 || st.LiveExpanded != st.ExpandedNodes {
+					t.Errorf("expected a fresh start, got stats %+v", st)
+				}
+			}
+
+			// A completed run clears its checkpoint: nothing left to resume.
+			if left := ckptFiles(t, dir); len(left) != 0 {
+				t.Errorf("completed resume left checkpoints behind: %v", left)
+			}
+		})
+	}
+}
+
+// TestCheckpointCleanRunLeavesNoFile pins the lifecycle on the happy path:
+// a checkpointed run that completes normally checkpoints every boundary
+// (observable in the stats) and leaves nothing on disk at the end. The
+// write-behind may legitimately skip every physical write on a run this
+// fast — boundaries are throttled between fences, and the deliberate end
+// discards the pending one rather than writing a file just to delete it —
+// so disk activity is pinned by the crash tests, not here.
+func TestCheckpointCleanRunLeavesNoFile(t *testing.T) {
+	dir := t.TempDir()
+	cks := openCheckpoints(t, dir)
+	_, _, _, st := cleanCheckpointedRun(t, recoveryTask(), cks)
+	if st.Checkpoints == 0 {
+		t.Error("checkpointed run recorded no boundary checkpoints")
+	}
+	if left := ckptFiles(t, dir); len(left) != 0 {
+		t.Errorf("completed run left checkpoints behind: %v", left)
+	}
+}
+
+// TestCheckpointCorruptRestartsFresh pins the detect-log-delete contract
+// end to end: a bit-flipped checkpoint is rejected at resume, counted,
+// deleted, and the run restarts from scratch — slower, never wrong.
+func TestCheckpointCorruptRestartsFresh(t *testing.T) {
+	task := recoveryTask()
+	seqC, seqV, seq := seqStream(t, task)
+	dir := t.TempDir()
+	cks := openCheckpoints(t, dir)
+	crashRun(t, task, cks, 3)
+
+	files := ckptFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("expected one checkpoint after the crash, found %v", files)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	distC, distV, dist, st := resumeRun(t, task, cks)
+	compareStreams(t, "resume-after-corruption", seqC, seqV, seq, distC, distV, dist)
+	if st.ResumedLevel != -1 {
+		t.Errorf("corrupt checkpoint resumed at level %d, want a fresh start", st.ResumedLevel)
+	}
+	if ckStats := cks.Stats(); ckStats.Corrupt != 1 {
+		t.Errorf("store stats %+v, want exactly 1 corrupt", ckStats)
+	}
+}
+
+// TestRejoinReplacementWorker pins the bounded wait-for-rejoin: at R=1 the
+// sole replica of a shard is killed mid-run, a replacement process comes up
+// on its address shortly after, and the run completes byte-identically —
+// where it previously had no option but to abort.
+func TestRejoinReplacementWorker(t *testing.T) {
+	task := recoveryTask()
+	task.Replicas = 1
+	seqC, seqV, seq := seqStream(t, task)
+	workers := []string{"j0", "j1", "j2"}
+	ft := NewFaultyTransport(NewLoopback(), FaultPlan{KillAddr: workers[1], KillLevel: 2})
+	addrs, _ := startWorkers(t, ft, workers)
+	opt := failoverOptions()
+	opt.RejoinWait = 15 * time.Second
+	opt.RejoinPoll = 5 * time.Millisecond
+	cl := dialCluster(t, ft, addrs, opt)
+
+	// The replacement arrives 250ms after the kill window opens. The worker
+	// goroutine behind the address never died — only the transport was
+	// severed — so Revive models a fresh process taking over the address,
+	// and the coordinator's frameInit wipes whatever stale state it held.
+	timer := time.AfterFunc(250*time.Millisecond, func() { ft.Revive(workers[1]) })
+	defer timer.Stop()
+
+	distC, distV, dist := distStream(t, cl, task)
+	compareStreams(t, "rejoin-replacement", seqC, seqV, seq, distC, distV, dist)
+	if st := cl.RunStats(); st.Rejoined == 0 {
+		t.Error("run completed without the replacement worker rejoining")
+	}
+}
+
+// TestRejoinTimeoutDiagnostic pins the other side of the bounded wait: when
+// no replacement arrives, the run aborts with a diagnostic naming the
+// shard, the level, the checkpoint situation, and how long it waited.
+func TestRejoinTimeoutDiagnostic(t *testing.T) {
+	task := recoveryTask()
+	task.Replicas = 1
+	workers := []string{"t0", "t1", "t2"}
+	ft := NewFaultyTransport(NewLoopback(), FaultPlan{KillAddr: workers[1], KillLevel: 2})
+	addrs, _ := startWorkers(t, ft, workers)
+	opt := failoverOptions()
+	opt.RejoinWait = 200 * time.Millisecond
+	opt.RejoinPoll = 10 * time.Millisecond
+	cl := dialCluster(t, ft, addrs, opt)
+	_, _, err := cl.Explore(task, nil)
+	if err == nil {
+		t.Fatal("run succeeded with no replacement worker")
+	}
+	for _, want := range []string{"no live replica left", "at level", "waited", "rejoin", "lost", "checkpointing disabled"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diagnostic missing %q: %v", want, err)
+		}
+	}
+}
+
+// TestLostShardDiagnosticNamesCheckpoint pins the R=1 abort diagnostic
+// (satellite of the recovery work): it must name the shard, the level, and
+// the last good checkpoint — pointing the operator at the resume path —
+// while keeping the historical "lost" language older tooling greps for.
+func TestLostShardDiagnosticNamesCheckpoint(t *testing.T) {
+	task := recoveryTask()
+	task.Replicas = 1
+	dir := t.TempDir()
+	task.Checkpoints = openCheckpoints(t, dir)
+	workers := []string{"d0", "d1", "d2"}
+	ft := NewFaultyTransport(NewLoopback(), FaultPlan{KillAddr: workers[1], KillLevel: 3})
+	addrs, _ := startWorkers(t, ft, workers)
+	cl := dialCluster(t, ft, addrs, failoverOptions())
+	_, _, err := cl.Explore(task, nil)
+	if err == nil {
+		t.Fatal("R=1 exploration succeeded despite a killed worker")
+	}
+	for _, want := range []string{"shard", "no live replica left", "at level", "last-good checkpoint: level 2 in " + dir, "lost"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diagnostic missing %q: %v", want, err)
+		}
+	}
+
+	// The checkpoint the diagnostic points at is real: a resume from it on
+	// a fresh cluster finishes the run byte-identically.
+	seqC, seqV, seq := seqStream(t, task)
+	distC, distV, dist, st := resumeRun(t, task, task.Checkpoints)
+	compareStreams(t, "resume-after-worker-loss", seqC, seqV, seq, distC, distV, dist)
+	if st.ResumedLevel < 0 {
+		t.Error("resume did not restore the checkpoint the diagnostic named")
+	}
+}

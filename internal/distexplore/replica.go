@@ -52,17 +52,25 @@ func workerReplicatesShard(worker, shard, workerCount, replicas int) bool {
 }
 
 // replicaSet is the coordinator's liveness view for one exploration run:
-// the shard layout plus which workers have been declared lost. Workers are
-// only ever marked dead, never resurrected mid-run — a worker that missed
-// batches has stale state, and re-admitting it would break the
-// "every live replica saw every batch" invariant that makes promotion
-// byte-identical.
+// the shard layout plus which workers have been declared lost. A dead
+// worker's stale state is never trusted again — re-admitting it as-is would
+// break the "every live replica saw every batch" invariant that makes
+// promotion byte-identical. The one sanctioned way back in is revive, used
+// by the rejoin path after the worker has been re-initialized from scratch
+// and backfilled with the full admitted state, which re-establishes that
+// invariant by construction.
 type replicaSet struct {
 	shards   int
 	workers  int
 	replicas int
 	dead     []bool
 	lostErr  []error // per worker: the transport error that killed it
+
+	// level and ckDesc feed the coverage-loss diagnostic: the level being
+	// processed when coverage was lost, and a description of the last good
+	// checkpoint (or why there is none). Both are maintained by Explore.
+	level  int
+	ckDesc string
 }
 
 func newReplicaSet(shards, workers, replicas int) *replicaSet {
@@ -114,10 +122,32 @@ func (rs *replicaSet) replicates(w, shard int) bool {
 	return workerReplicatesShard(w, shard, rs.workers, rs.replicas)
 }
 
+// revive clears a worker's dead mark after the rejoin path has re-initialized
+// and backfilled a replacement process on its address; from here on it is a
+// full replica again.
+func (rs *replicaSet) revive(w int) {
+	rs.dead[w] = false
+	rs.lostErr[w] = nil
+}
+
+// shardLostError is the coverage-loss abort: some shard's entire replica
+// chain is dead. It is a distinct type so the rejoin path can recognize it
+// (only coverage losses are waitable; worker-reported errors are not) and
+// carries the shard for targeted recovery.
+type shardLostError struct {
+	shard int
+	msg   string
+	cause error
+}
+
+func (e *shardLostError) Error() string { return e.msg }
+func (e *shardLostError) Unwrap() error { return e.cause }
+
 // lostShard builds the abort diagnostic for a shard whose entire replica
-// chain is dead: it names the chain and surfaces the transport error that
-// killed the last copy, preserving the "lost … unrecoverable" language the
-// R=1 path has always reported.
+// chain is dead: it names the shard, the level being processed, the chain,
+// and the last good checkpoint (if any), and surfaces the transport error
+// that killed the last copy — preserving the "lost … unrecoverable"
+// language the R=1 path has always reported.
 func (rs *replicaSet) lostShard(shard int) error {
 	chain := rs.replicasOf(shard)
 	var last error
@@ -126,7 +156,11 @@ func (rs *replicaSet) lostShard(shard int) error {
 			last = rs.lostErr[w]
 		}
 	}
-	return fmt.Errorf(
-		"distexplore: shard %d has no live replica left (chain %v, replication %d): %w",
-		shard, chain, rs.replicas, last)
+	return &shardLostError{
+		shard: shard,
+		cause: last,
+		msg: fmt.Sprintf(
+			"distexplore: shard %d has no live replica left at level %d (chain %v, replication %d; %s): %v",
+			shard, rs.level, chain, rs.replicas, rs.ckDesc, last),
+	}
 }

@@ -74,6 +74,7 @@ func Suite(s Sizes) []Runner {
 		{"E22", E22Serve},
 		{"E23", E23Scaling},
 		{"E24", E24AtlasStore},
+		{"E25", E25Checkpoint},
 	}
 }
 

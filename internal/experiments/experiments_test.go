@@ -591,8 +591,8 @@ func TestE24AtlasStoreShape(t *testing.T) {
 func TestSuiteAndRunByID(t *testing.T) {
 	s := experiments.DefaultSizes()
 	suite := experiments.Suite(s)
-	if len(suite) != 24 {
-		t.Fatalf("suite has %d experiments, want 24", len(suite))
+	if len(suite) != 25 {
+		t.Fatalf("suite has %d experiments, want 25", len(suite))
 	}
 	ids := map[string]bool{}
 	for _, r := range suite {
@@ -632,5 +632,52 @@ func TestTableHelpers(t *testing.T) {
 	out := tab.String()
 	if !strings.Contains(out, "T — test") || !strings.Contains(out, "note 7") {
 		t.Errorf("rendered table missing pieces:\n%s", out)
+	}
+}
+
+func TestE25CheckpointShape(t *testing.T) {
+	tab, bench, err := experiments.E25CheckpointBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 || len(bench.Rows) != 6 {
+		t.Fatalf("E25 has %d table rows / %d bench rows, want 6/6", len(tab.Rows), len(bench.Rows))
+	}
+	sawResume := false
+	for i, r := range bench.Rows {
+		// Correctness only — timings and overhead percentages are
+		// machine-dependent. The invariant is the FLP repo's oldest:
+		// checkpointing and resume may change wall time, never counts.
+		if !r.CountsAgree {
+			t.Errorf("row %d (%s / %s): count diverged from the sequential engine", i, r.Kernel, r.Scenario)
+		}
+		if r.Configs <= 0 {
+			t.Errorf("row %d (%s): no configurations counted", i, r.Scenario)
+		}
+		switch {
+		case r.ResumedLvl >= 0:
+			sawResume = true
+			if r.Restored == 0 {
+				t.Errorf("row %d (%s): resumed run restored zero nodes", i, r.Scenario)
+			}
+			if r.LiveExpand >= r.TotalExpand {
+				t.Errorf("row %d (%s): resume re-expanded the restored prefix: live %d of %d",
+					i, r.Scenario, r.LiveExpand, r.TotalExpand)
+			}
+		default:
+			if r.LiveExpand != r.TotalExpand {
+				t.Errorf("row %d (%s): fresh run has live %d != total %d expansions",
+					i, r.Scenario, r.LiveExpand, r.TotalExpand)
+			}
+		}
+		if r.Scenario == "checkpointed (every level boundary)" && r.Checkpoints == 0 {
+			t.Errorf("row %d (%s): checkpointed run recorded no boundaries", i, r.Scenario)
+		}
+		if got, _ := tab.Cell(i, "counts agree"); got != "true" {
+			t.Errorf("row %d: table reports counts agree = %q", i, got)
+		}
+	}
+	if !sawResume {
+		t.Error("E25 has no crash-and-resume scenario")
 	}
 }

@@ -173,6 +173,13 @@ func (b *AtlasBuilder) Len() int { return len(b.cfgs) }
 // Nodes [Expanded, Len) are the frontier Extend resumes from.
 func (b *AtlasBuilder) Expanded() int { return len(b.succStart) - 1 }
 
+// Configs exposes the admitted configurations by dense id. The slice
+// aliases the builder's arrays — callers must treat it as read-only. Its
+// main consumer is checkpoint recovery: RestoreAtlasBuilder has already
+// replayed and key-verified every configuration, and a resuming
+// coordinator needs them back without paying a second replay.
+func (b *AtlasBuilder) Configs() []*model.Config { return b.cfgs }
+
 // Complete reports whether the reachable set is exhausted (empty
 // frontier).
 func (b *AtlasBuilder) Complete() bool { return b.complete }
@@ -425,7 +432,7 @@ func LoadAtlas(pr model.Protocol, root *model.Config, opt Options, snap *AtlasSn
 	}
 	a := &Atlas{
 		pr: pr, opt: opt.withDefaults(), root: root,
-		cfgs: make([]*model.Config, len(snap.Depth)),
+		cfgs:  make([]*model.Config, len(snap.Depth)),
 		depth: snap.Depth, parent: snap.Parent, parentVia: snap.ParentVia,
 		succStart: snap.SuccStart, succTo: snap.SuccTo, succVia: snap.SuccVia,
 		dist0: snap.Dist0, dist1: snap.Dist1,

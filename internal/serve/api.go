@@ -295,6 +295,35 @@ func (s *Server) adversaryJob(req AdversaryRequest) jobFunc {
 	}
 }
 
+// jobBody rebuilds a job's body from its journaled admission record — the
+// restart-side counterpart of the mk closures the handlers pass to submit.
+// Job bodies are pure engine queries, so a rebuilt body re-run after a
+// crash returns exactly what the original would have.
+func (s *Server) jobBody(kind JobKind, raw json.RawMessage) (jobFunc, error) {
+	switch kind {
+	case KindCensus:
+		var req CensusRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, fmt.Errorf("decoding journaled census request: %w", err)
+		}
+		return s.censusJob(req), nil
+	case KindValency:
+		var req ValencyRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, fmt.Errorf("decoding journaled valency request: %w", err)
+		}
+		return s.valencyJob(req), nil
+	case KindAdversary:
+		var req AdversaryRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, fmt.Errorf("decoding journaled adversary request: %w", err)
+		}
+		return s.adversaryJob(req), nil
+	default:
+		return nil, fmt.Errorf("unknown job kind %q", kind)
+	}
+}
+
 // ---- HTTP handlers ----
 
 // writeJSON writes v with the given status and counts the request.
@@ -313,7 +342,7 @@ func submit[R any](s *Server, w http.ResponseWriter, r *http.Request, endpoint s
 		s.writeJSON(w, endpoint, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
 		return
 	}
-	j, err := s.queue.Submit(kind, mk(req))
+	j, err := s.queue.Submit(kind, req, mk(req))
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		s.writeJSON(w, endpoint, http.StatusServiceUnavailable, apiError{Error: err.Error()})

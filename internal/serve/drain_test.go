@@ -32,7 +32,7 @@ func TestGracefulDrain(t *testing.T) {
 	// One controlled in-flight job occupying the single pool worker, and
 	// one job stuck behind it in the queue.
 	release := make(chan struct{})
-	running, err := s.queue.Submit(KindCensus, func(pub func(string), _ func() bool) (any, error) {
+	running, err := s.queue.Submit(KindCensus, nil, func(pub func(string), _ func() bool) (any, error) {
 		pub("working")
 		<-release
 		return map[string]string{"outcome": "finished during drain"}, nil
@@ -40,7 +40,7 @@ func TestGracefulDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, err := s.queue.Submit(KindValency, func(func(string), func() bool) (any, error) {
+	queued, err := s.queue.Submit(KindValency, nil, func(func(string), func() bool) (any, error) {
 		return nil, nil
 	})
 	if err != nil {
@@ -134,7 +134,7 @@ func TestDrainCancelsChunkedJob(t *testing.T) {
 	s, _ := newTestServer(t, Options{Workers: 1})
 	started := make(chan struct{})
 	var once bool
-	j, err := s.queue.Submit(KindAdversary, func(pub func(string), canceled func() bool) (any, error) {
+	j, err := s.queue.Submit(KindAdversary, nil, func(pub func(string), canceled func() bool) (any, error) {
 		for {
 			if !once {
 				once = true
@@ -162,7 +162,7 @@ func TestDrainIdempotent(t *testing.T) {
 	s, _ := newTestServer(t, Options{})
 	s.Drain()
 	s.Drain()
-	if _, err := s.queue.Submit(KindCensus, nil); err != ErrDraining {
+	if _, err := s.queue.Submit(KindCensus, nil, nil); err != ErrDraining {
 		t.Fatalf("submit after drain: %v, want ErrDraining", err)
 	}
 }
@@ -174,14 +174,14 @@ func TestQueueFull(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	// Occupy the worker, then fill the depth-1 queue.
-	if _, err := s.queue.Submit(KindCensus, func(func(string), func() bool) (any, error) {
+	if _, err := s.queue.Submit(KindCensus, nil, func(func(string), func() bool) (any, error) {
 		<-release
 		return nil, nil
 	}); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, "worker pickup", func() bool { return len(s.queue.queue) == 0 })
-	if _, err := s.queue.Submit(KindCensus, func(func(string), func() bool) (any, error) {
+	if _, err := s.queue.Submit(KindCensus, nil, func(func(string), func() bool) (any, error) {
 		return nil, nil
 	}); err != nil {
 		t.Fatal(err)

@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +80,7 @@ type Job struct {
 
 	done chan struct{} // closed once the state is terminal
 	run  jobFunc
+	jnl  *journal // nil without -atlas-dir: in-memory lifecycle only
 }
 
 // JobView is the JSON rendering of a job's current status.
@@ -131,12 +135,16 @@ func (j *Job) EventsSince(from int) (evs []Event, changed <-chan struct{}, termi
 	return evs, j.notify, j.state.terminal()
 }
 
-// publish appends a progress event.
+// publish appends a progress event (and journals it, durability permitting).
 func (j *Job) publish(msg string) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.events = append(j.events, Event{Seq: len(j.events), Time: time.Now(), Msg: msg})
+	ev := Event{Seq: len(j.events), Time: time.Now(), Msg: msg}
+	j.events = append(j.events, ev)
 	j.wake()
+	j.mu.Unlock()
+	if j.jnl != nil {
+		j.jnl.append(journalRecord{Rec: recEvent, ID: j.ID, Seq: ev.Seq, Msg: ev.Msg})
+	}
 }
 
 // wake flips the notify channel; callers hold j.mu.
@@ -145,11 +153,13 @@ func (j *Job) wake() {
 	j.notify = make(chan struct{})
 }
 
-// finish moves the job to a terminal state exactly once.
+// finish moves the job to a terminal state exactly once. The terminal
+// journal record is the second durability point after admission: once a
+// result is readable, it stays readable across restarts.
 func (j *Job) finish(state JobState, result any, err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state.terminal() {
+		j.mu.Unlock()
 		return
 	}
 	j.state = state
@@ -161,6 +171,17 @@ func (j *Job) finish(state JobState, result any, err error) {
 	j.events = append(j.events, Event{Seq: len(j.events), Time: j.finished, Msg: "job " + string(state)})
 	j.wake()
 	close(j.done)
+	errMsg := j.errMsg
+	j.mu.Unlock()
+	if j.jnl != nil {
+		rec := journalRecord{Rec: recTerminal, ID: j.ID, State: state, Error: errMsg}
+		if result != nil {
+			if raw, err := json.Marshal(result); err == nil {
+				rec.Result = raw
+			}
+		}
+		j.jnl.append(rec)
+	}
 }
 
 // Submission failures, mapped to 503 by the API layer.
@@ -183,17 +204,19 @@ type jobQueue struct {
 	mu   sync.Mutex
 	jobs map[string]*Job
 
-	m *metrics
+	m   *metrics
+	jnl *journal // nil without -atlas-dir
 }
 
 // newJobQueue starts workers goroutines servicing a queue of the given
 // depth.
-func newJobQueue(workers, depth int, m *metrics) *jobQueue {
+func newJobQueue(workers, depth int, m *metrics, jnl *journal) *jobQueue {
 	q := &jobQueue{
 		queue: make(chan *Job, depth),
 		quit:  make(chan struct{}),
 		jobs:  make(map[string]*Job),
 		m:     m,
+		jnl:   jnl,
 	}
 	for i := 0; i < workers; i++ {
 		q.wg.Add(1)
@@ -202,8 +225,12 @@ func newJobQueue(workers, depth int, m *metrics) *jobQueue {
 	return q
 }
 
-// Submit admits a job, or refuses with ErrDraining/ErrQueueFull.
-func (q *jobQueue) Submit(kind JobKind, run jobFunc) (*Job, error) {
+// Submit admits a job, or refuses with ErrDraining/ErrQueueFull. req is the
+// decoded request the job was built from; with a journal it is persisted in
+// the admission record so a restarted server can rebuild the job body. The
+// admission record is written only after the queue accepts the job — a 202
+// response therefore implies the job is durable.
+func (q *jobQueue) Submit(kind JobKind, req any, run jobFunc) (*Job, error) {
 	if q.draining.Load() {
 		return nil, ErrDraining
 	}
@@ -215,10 +242,23 @@ func (q *jobQueue) Submit(kind JobKind, run jobFunc) (*Job, error) {
 		done:    make(chan struct{}),
 		created: time.Now(),
 		run:     run,
+		jnl:     q.jnl,
 	}
 	q.mu.Lock()
 	q.jobs[j.ID] = j
 	q.mu.Unlock()
+	// The admission record goes down before the enqueue: once a pool worker
+	// can see the job, its started/event records may race ours into the
+	// journal, and replay drops records that precede their accepted line. A
+	// refusal after the record is already durable is settled with a terminal
+	// record, so a restart never resurrects a job whose client got 503.
+	if q.jnl != nil {
+		rec := journalRecord{Rec: recAccepted, ID: j.ID, Kind: kind}
+		if raw, err := json.Marshal(req); err == nil {
+			rec.Req = raw
+		}
+		q.jnl.append(rec)
+	}
 	select {
 	case q.queue <- j:
 		q.m.queueDepth.Inc()
@@ -227,7 +267,91 @@ func (q *jobQueue) Submit(kind JobKind, run jobFunc) (*Job, error) {
 		q.mu.Lock()
 		delete(q.jobs, j.ID)
 		q.mu.Unlock()
+		if q.jnl != nil {
+			q.jnl.append(journalRecord{Rec: recTerminal, ID: j.ID, State: StateCanceled,
+				Error: ErrQueueFull.Error()})
+		}
 		return nil, ErrQueueFull
+	}
+}
+
+// readmit re-enqueues one non-terminal job replayed from the journal under
+// its original ID, pre-crash events intact (the NDJSON stream replays them,
+// then follows the re-run). No new admission record is written — the one
+// that admitted the job the first time still stands. Returns false when the
+// queue cannot hold the backlog (the job is failed, visibly, rather than
+// silently dropped).
+func (q *jobQueue) readmit(rj *replayedJob, run jobFunc) bool {
+	j := &Job{
+		ID:      rj.id,
+		Kind:    rj.kind,
+		state:   StateQueued,
+		events:  rj.events,
+		notify:  make(chan struct{}),
+		done:    make(chan struct{}),
+		created: rj.created,
+		run:     run,
+		jnl:     q.jnl,
+	}
+	q.bumpSeq(rj.id)
+	q.mu.Lock()
+	q.jobs[j.ID] = j
+	q.mu.Unlock()
+	select {
+	case q.queue <- j:
+		q.m.queueDepth.Inc()
+		j.publish("job re-admitted after server restart")
+		return true
+	default:
+		j.finish(StateFailed, nil, fmt.Errorf("serve: queue full during journal recovery"))
+		q.m.jobsTotal.With(string(j.Kind), string(StateFailed)).Inc()
+		return false
+	}
+}
+
+// replayTerminal registers one finished job replayed from the journal: its
+// status, result, and event history answer exactly as before the restart,
+// but nothing re-runs.
+func (q *jobQueue) replayTerminal(rj *replayedJob) {
+	j := &Job{
+		ID:       rj.id,
+		Kind:     rj.kind,
+		state:    rj.state,
+		errMsg:   rj.errMsg,
+		events:   rj.events,
+		notify:   make(chan struct{}),
+		done:     make(chan struct{}),
+		created:  rj.created,
+		started:  rj.started,
+		finished: rj.finished,
+		jnl:      q.jnl,
+	}
+	if len(rj.result) > 0 {
+		j.result = json.RawMessage(rj.result)
+	}
+	close(j.done)
+	q.bumpSeq(rj.id)
+	q.mu.Lock()
+	q.jobs[j.ID] = j
+	q.mu.Unlock()
+}
+
+// bumpSeq advances the ID counter past a replayed job's numeric suffix so
+// new submissions never collide with journaled IDs.
+func (q *jobQueue) bumpSeq(id string) {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return
+	}
+	n, err := strconv.ParseInt(id[i+1:], 10, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := q.seq.Load()
+		if cur >= n || q.seq.CompareAndSwap(cur, n) {
+			return
+		}
 	}
 }
 
@@ -267,6 +391,9 @@ func (q *jobQueue) runJob(j *Job) {
 	j.started = time.Now()
 	j.wake()
 	j.mu.Unlock()
+	if q.jnl != nil {
+		q.jnl.append(journalRecord{Rec: recStarted, ID: j.ID})
+	}
 	q.m.inflight.Inc()
 	defer q.m.inflight.Dec()
 

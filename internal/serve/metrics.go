@@ -20,7 +20,7 @@ type metrics struct {
 	httpTotal   *promtext.CounterVec // endpoint, code
 }
 
-func newMetrics(ac *explore.AtlasCache, store *atlasstore.Store) *metrics {
+func newMetrics(ac *explore.AtlasCache, store *atlasstore.Store, jnl *journal) *metrics {
 	reg := promtext.NewRegistry()
 	m := &metrics{
 		reg: reg,
@@ -49,6 +49,20 @@ func newMetrics(ac *explore.AtlasCache, store *atlasstore.Store) *metrics {
 		ops.With(func() int64 { return store.Stats().Evictions }, "evict")
 		ops.With(func() int64 { return store.Stats().Corrupt }, "corrupt")
 		ops.With(func() int64 { return store.Stats().Refused }, "refused")
+	}
+	if jnl != nil {
+		ck := promtext.NewCounterFuncVec(reg, "flpserve_checkpoint_ops_total",
+			"Durable job-journal checkpoint operations, by outcome: write (record appended), resume (non-terminal job re-admitted at startup), corrupt (damaged journal region or unrebuildable job detected, logged, dropped), skip (terminal job replayed as history, not re-run).", "outcome")
+		ck.With(func() int64 { return jnl.stats().Writes }, "write")
+		ck.With(func() int64 { return jnl.stats().Resumes }, "resume")
+		ck.With(func() int64 { return jnl.stats().Corrupt }, "corrupt")
+		ck.With(func() int64 { return jnl.stats().Skips }, "skip")
+		recs := promtext.NewCounterFuncVec(reg, "flpserve_journal_records_total",
+			"Job-journal records appended this server lifetime, by record type.", "type")
+		for _, rt := range []string{recAccepted, recStarted, recEvent, recTerminal} {
+			rt := rt
+			recs.With(func() int64 { return jnl.recordsTotal(rt) }, rt)
+		}
 	}
 	return m
 }

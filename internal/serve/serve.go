@@ -25,6 +25,7 @@ package serve
 
 import (
 	"net/http"
+	"path/filepath"
 
 	"github.com/flpsim/flp/internal/atlasstore"
 	"github.com/flpsim/flp/internal/explore"
@@ -42,8 +43,15 @@ type Options struct {
 	// AtlasDir, when set, backs the shared atlas cache with a persistent
 	// atlasstore.Store rooted there: atlases survive restarts, and a
 	// server pointed at a warm directory serves its first repeat census
-	// from disk instead of rebuilding. Empty means memory-only.
+	// from disk instead of rebuilding. It also enables the durable job
+	// journal (jobs.journal under the same root): admitted jobs survive a
+	// server crash — finished ones keep answering status and event
+	// queries, unfinished ones are re-admitted and re-run on restart.
+	// Empty means memory-only, nothing survives.
 	AtlasDir string
+	// Log receives operational log lines (journal recovery, corruption
+	// reports). Nil discards them.
+	Log func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -63,20 +71,25 @@ type Server struct {
 	opt     Options
 	atlases *explore.AtlasCache
 	store   *atlasstore.Store
+	jnl     *journal
 	m       *metrics
 	queue   *jobQueue
 	mux     *http.ServeMux
 }
 
 // New builds a server. The embedded atlas cache is fresh; every job this
-// server runs shares it. With Options.AtlasDir set, the cache is backed
-// by a persistent store in that directory — the only error path.
+// server runs shares it. With Options.AtlasDir set, the cache is backed by
+// a persistent store in that directory, and the job journal there is
+// replayed: finished jobs come back as queryable history, unfinished ones
+// are re-admitted under their original IDs and re-run (cheaply — their
+// atlases are already in the store).
 func New(opt Options) (*Server, error) {
 	opt = opt.withDefaults()
 	s := &Server{
 		opt:     opt,
 		atlases: explore.NewAtlasCache(),
 	}
+	var replayed []*replayedJob
 	if opt.AtlasDir != "" {
 		st, err := atlasstore.Open(opt.AtlasDir)
 		if err != nil {
@@ -84,9 +97,18 @@ func New(opt Options) (*Server, error) {
 		}
 		s.store = st
 		s.atlases.SetBackend(st)
+		jnl, jobs, err := openJournal(filepath.Join(opt.AtlasDir, "jobs.journal"), opt.Log)
+		if err != nil {
+			return nil, err
+		}
+		s.jnl = jnl
+		replayed = jobs
 	}
-	s.m = newMetrics(s.atlases, s.store)
-	s.queue = newJobQueue(opt.Workers, opt.QueueDepth, s.m)
+	s.m = newMetrics(s.atlases, s.store, s.jnl)
+	s.queue = newJobQueue(opt.Workers, opt.QueueDepth, s.m, s.jnl)
+	for _, rj := range replayed {
+		s.recoverJob(rj)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/census", s.handleCensus)
 	s.mux.HandleFunc("POST /v1/valency", s.handleValency)
@@ -120,3 +142,36 @@ func (s *Server) AtlasCache() *explore.AtlasCache { return s.atlases }
 // Store exposes the persistent atlas store, nil when Options.AtlasDir was
 // unset (memory-only cache).
 func (s *Server) Store() *atlasstore.Store { return s.store }
+
+// logf routes an operational log line per Options.Log.
+func (s *Server) logf(format string, args ...any) {
+	if s.opt.Log != nil {
+		s.opt.Log(format, args...)
+	}
+}
+
+// recoverJob replays one journaled job into the fresh queue: terminal jobs
+// become queryable history (a skip — nothing re-runs), non-terminal ones
+// are rebuilt from their admission request and re-admitted (a resume). A
+// job whose request no longer rebuilds — unknown kind, undecodable body —
+// is registered as failed with the reason, never silently dropped.
+func (s *Server) recoverJob(rj *replayedJob) {
+	if rj.state.terminal() {
+		s.jnl.noteSkip()
+		s.queue.replayTerminal(rj)
+		return
+	}
+	run, err := s.jobBody(rj.kind, rj.req)
+	if err != nil {
+		s.jnl.noteCorrupt()
+		s.logf("serve: job journal: cannot rebuild %s job %s: %v", rj.kind, rj.id, err)
+		rj.state = StateFailed
+		rj.errMsg = "unrecoverable after restart: " + err.Error()
+		s.queue.replayTerminal(rj)
+		return
+	}
+	if s.queue.readmit(rj, run) {
+		s.jnl.noteResume()
+		s.logf("serve: job journal: re-admitted %s job %s", rj.kind, rj.id)
+	}
+}

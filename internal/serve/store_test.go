@@ -97,6 +97,9 @@ func TestServerWithoutAtlasDirOmitsStoreMetrics(t *testing.T) {
 	if regexp.MustCompile(`flpserve_atlas_store_ops_total`).Match(body) {
 		t.Fatal("memory-only server exports store counters")
 	}
+	if regexp.MustCompile(`flpserve_checkpoint_ops_total|flpserve_journal_records_total`).Match(body) {
+		t.Fatal("memory-only server exports journal counters")
+	}
 	// The cache counter family is still there.
 	if !regexp.MustCompile(`flpserve_atlas_cache_lookups_total`).Match(body) {
 		t.Fatal("cache counters missing from scrape")
